@@ -1,0 +1,59 @@
+// Command benchrunner regenerates the paper's tables and figures as text.
+//
+// Usage:
+//
+//	benchrunner -exp fig8 -size 10000 -profiles acl1,fw1
+//	benchrunner -exp all -size 500000 -trace 700000   # paper scale
+//
+// Every experiment id maps to one table or figure of the evaluation
+// section; see EXPERIMENTS.md for the index and DESIGN.md for the
+// methodology substitutions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nuevomatch/internal/analysis"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(analysis.Experiments(), ", ")+", or all")
+		size     = flag.Int("size", 10000, "primary rule-set size (paper: 500000)")
+		small    = flag.String("sizes", "1000,10000", "comma-separated scaling ladder for fig11/fig13/fig17/table2")
+		profiles = flag.String("profiles", "", "comma-separated ClassBench profiles (default: all 12)")
+		traceLen = flag.Int("trace", 20000, "packets per trace (paper: 700000)")
+		stanford = flag.Int("stanford", 20000, "Stanford backbone rule-set size (paper: ~183376)")
+		seed     = flag.Int64("seed", 1, "trace generation seed")
+	)
+	flag.Parse()
+
+	cfg := analysis.DefaultConfig(os.Stdout)
+	cfg.Size = *size
+	cfg.TraceLen = *traceLen
+	cfg.StanfordSize = *stanford
+	cfg.Seed = *seed
+	if *profiles != "" {
+		cfg.Profiles = strings.Split(*profiles, ",")
+	}
+	if *small != "" {
+		cfg.SmallSizes = nil
+		for _, s := range strings.Split(*small, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "benchrunner: invalid size %q\n", s)
+				os.Exit(2)
+			}
+			cfg.SmallSizes = append(cfg.SmallSizes, n)
+		}
+	}
+
+	r := analysis.NewRunner(cfg)
+	if err := r.Run(*exp); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+		os.Exit(1)
+	}
+}

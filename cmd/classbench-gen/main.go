@@ -1,0 +1,70 @@
+// Command classbench-gen writes a synthetic ClassBench-style rule-set in
+// the classic filter format to stdout or a file.
+//
+// Usage:
+//
+//	classbench-gen -profile acl1 -n 10000 > acl1_10k.rules
+//	classbench-gen -profile stanford -n 183376 -set 2 > stanford2.rules
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nuevomatch/internal/classbench"
+	"nuevomatch/internal/rules"
+	"nuevomatch/internal/stanford"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "acl1", "ClassBench profile (acl1..5, fw1..5, ipc1..2) or 'stanford'")
+		n       = flag.Int("n", 1000, "number of rules")
+		set     = flag.Int("set", 0, "Stanford backbone set index (0..3), with -profile stanford")
+		out     = flag.String("o", "-", "output file ('-' = stdout)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	if *profile == "stanford" {
+		rs := stanford.Generate(*set, *n)
+		// Single-field sets use a simple "prefix per line" format.
+		for i := range rs.Rules {
+			plen, _ := rs.Rules[i].Fields[0].IsPrefix()
+			fmt.Fprintf(bw, "%s/%d\n", rules.FormatIPv4(rs.Rules[i].Fields[0].Lo), plen)
+		}
+		return
+	}
+
+	p, err := classbench.ProfileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	rs := classbench.Generate(p, *n)
+	if err := rules.WriteClassBench(bw, rs); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "classbench-gen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Command nmctl trains a NuevoMatch engine on a rule file and classifies a
+// trace, reporting build statistics and throughput — the end-to-end driver
+// for ad-hoc experiments.
+//
+// Usage:
+//
+//	nmctl -rules acl1_10k.rules -trace trace.txt -remainder tm
+//	nmctl -rules acl1_10k.rules -bench            # uniform self-trace
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nuevomatch/internal/analysis"
+	"nuevomatch/internal/core"
+	"nuevomatch/internal/rules"
+	"nuevomatch/internal/trace"
+)
+
+func main() {
+	var (
+		rulesPath = flag.String("rules", "", "ClassBench-format rule file (required)")
+		tracePath = flag.String("trace", "", "trace file from tracegen (optional)")
+		remainder = flag.String("remainder", "tm", "remainder classifier: cs | nc | tm")
+		maxErr    = flag.Int("error", 64, "RQ-RMI maximum error threshold")
+		bench     = flag.Bool("bench", false, "measure throughput on a generated uniform trace")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *rulesPath == "" {
+		fatal(fmt.Errorf("-rules is required"))
+	}
+
+	f, err := os.Open(*rulesPath)
+	if err != nil {
+		fatal(err)
+	}
+	rs, err := rules.ReadClassBench(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d rules from %s\n", rs.Len(), *rulesPath)
+
+	opt, err := analysis.NMOptions(*remainder, *maxErr)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	engine, err := core.Build(rs, opt)
+	if err != nil {
+		fatal(err)
+	}
+	st := engine.Stats()
+	fmt.Printf("build: %v total (%v training), %d iSets (fields %v, sizes %v)\n",
+		time.Since(start).Round(time.Millisecond), st.TrainingTime.Round(time.Millisecond),
+		engine.NumISets(), st.ISetFields, st.ISetSizes)
+	fmt.Printf("coverage: %.1f%%, remainder: %d rules, max search distance: %d\n",
+		st.Coverage*100, st.RemainderSize, st.MaxSearchDistance)
+	fmt.Printf("memory: iSet models %d B, remainder index %d B (total %d B)\n",
+		engine.RQRMIBytes(), engine.RemainderBytes(), engine.MemoryFootprint())
+
+	var pkts []rules.Packet
+	switch {
+	case *tracePath != "":
+		pkts, err = readTrace(*tracePath, rs.NumFields)
+		if err != nil {
+			fatal(err)
+		}
+	case *bench:
+		rng := rand.New(rand.NewSource(*seed))
+		pkts = trace.Uniform(rng, rs, 100000).Packets
+	default:
+		return
+	}
+
+	matched := 0
+	start = time.Now()
+	for _, p := range pkts {
+		if engine.Lookup(p) >= 0 {
+			matched++
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("classified %d packets in %v (%.0f pps, %.0f%% matched)\n",
+		len(pkts), elapsed.Round(time.Millisecond),
+		float64(len(pkts))/elapsed.Seconds(), 100*float64(matched)/float64(len(pkts)))
+}
+
+func readTrace(path string, numFields int) ([]rules.Packet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pkts []rules.Packet
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != numFields {
+			return nil, fmt.Errorf("trace line has %d fields, rules have %d", len(fields), numFields)
+		}
+		p := make(rules.Packet, len(fields))
+		for d, s := range fields {
+			v, err := strconv.ParseUint(s, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad field %q: %v", s, err)
+			}
+			p[d] = uint32(v)
+		}
+		pkts = append(pkts, p)
+	}
+	return pkts, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "nmctl: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// IP forwarding: the paper's real-world workload (Figure 10) — a backbone
+// forwarding table with a single matching field (destination IP prefix).
+// Single-field rule-sets give the iSet partitioner only one dimension, so
+// prefix nesting forces several iSets; this example shows the coverage
+// profile of Table 2's Stanford row and the resulting acceleration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"nuevomatch"
+	"nuevomatch/internal/stanford"
+	"nuevomatch/internal/trace"
+)
+
+func main() {
+	const nPrefixes = 30000
+
+	rs := stanford.Generate(0, nPrefixes)
+	fmt.Printf("generated %d forwarding prefixes (Stanford-backbone profile)\n", rs.Len())
+
+	engine, err := nuevomatch.Build(rs, nuevomatch.Options{
+		MaxISets:    4,
+		MinCoverage: 0.05,
+		Remainder:   nuevomatch.TupleMerge,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := engine.Stats()
+	fmt.Printf("iSets: %d, sizes %v\n", engine.NumISets(), st.ISetSizes)
+	cum := 0.0
+	for i, sz := range st.ISetSizes {
+		cum += float64(sz) / float64(rs.Len())
+		fmt.Printf("  coverage after %d iSet(s): %.1f%% (paper's Stanford row: 57.8/91.6/96.5/98.2)\n", i+1, cum*100)
+	}
+	fmt.Printf("remainder: %d prefixes, max search distance %d\n", st.RemainderSize, st.MaxSearchDistance)
+
+	// Longest-prefix-match semantics: more specific prefixes must win.
+	// stanford.Generate assigns priorities by insertion order, so remap to
+	// prefix length before building in a real deployment; here we verify
+	// against the same reference so semantics agree.
+	rng := rand.New(rand.NewSource(7))
+	tr := trace.Uniform(rng, rs, 50000)
+	for i, p := range tr.Packets[:5000] {
+		if got, want := engine.Lookup(p), rs.MatchID(p); got != want {
+			log.Fatalf("packet %d: engine %d != reference %d", i, got, want)
+		}
+	}
+	fmt.Println("verified 5000 lookups against the reference")
+
+	tm, err := nuevomatch.TupleMerge(rs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range []nuevomatch.Classifier{tm, engine} {
+		start := time.Now()
+		for _, p := range tr.Packets {
+			c.Lookup(p)
+		}
+		fmt.Printf("%-12s %10.0f pps, index %d KB\n", c.Name(),
+			float64(len(tr.Packets))/time.Since(start).Seconds(), c.MemoryFootprint()/1024)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: build a NuevoMatch engine over a handful of rules — the
+// paper's Figure 2 classifier — and classify packets through the public
+// API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nuevomatch"
+)
+
+func main() {
+	ip := func(s string) uint32 {
+		v, err := nuevomatch.ParseIPv4(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	}
+
+	// The classifier of the paper's Figure 2: two fields (IPv4 address,
+	// port), five overlapping rules, priorities 1 (highest) to 5.
+	rs := nuevomatch.NewRuleSet(2)
+	rs.AddAuto(nuevomatch.PrefixRange(ip("10.10.0.0"), 16), nuevomatch.Range{Lo: 10, Hi: 18}) // R0 -> a1
+	rs.AddAuto(nuevomatch.PrefixRange(ip("10.10.1.0"), 24), nuevomatch.Range{Lo: 15, Hi: 25}) // R1 -> a2
+	rs.AddAuto(nuevomatch.PrefixRange(ip("10.0.0.0"), 8), nuevomatch.Range{Lo: 5, Hi: 8})     // R2 -> a3
+	rs.AddAuto(nuevomatch.PrefixRange(ip("10.10.3.0"), 24), nuevomatch.Range{Lo: 7, Hi: 20})  // R3 -> a4
+	rs.AddAuto(nuevomatch.ExactRange(ip("10.10.3.100")), nuevomatch.ExactRange(19))           // R4 -> a5
+
+	engine, err := nuevomatch.Build(rs, nuevomatch.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := engine.Stats()
+	fmt.Printf("built: %d iSets, coverage %.0f%%, remainder %d rules, %d B of models\n",
+		engine.NumISets(), st.Coverage*100, st.RemainderSize, engine.RQRMIBytes())
+
+	actions := []string{"a1", "a2", "a3", "a4", "a5"}
+	classify := func(addr string, port uint32) {
+		pkt := nuevomatch.Packet{ip(addr), port}
+		if id := engine.Lookup(pkt); id >= 0 {
+			fmt.Printf("%s:%-3d -> R%d (%s)\n", addr, port, id, actions[id])
+		} else {
+			fmt.Printf("%s:%-3d -> no match\n", addr, port)
+		}
+	}
+
+	// The paper's worked example: 10.10.3.100:19 matches R3 and R4; R3
+	// wins on priority, so the action is a4.
+	classify("10.10.3.100", 19)
+	classify("10.10.1.50", 20) // R1 -> a2
+	classify("10.9.0.1", 6)    // R2 -> a3
+	classify("192.168.1.1", 80)
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"nuevomatch/internal/classbench"
+	"nuevomatch/internal/trace"
+)
+
+// tinyConfig keeps every experiment fast enough for unit testing.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{
+		W:            buf,
+		Size:         600,
+		SmallSizes:   []int{200, 600},
+		Profiles:     []string{"acl1", "fw1"},
+		TraceLen:     2000,
+		StanfordSize: 3000,
+		Seed:         1,
+	}
+}
+
+func init() {
+	// Shorten measurements for tests; benchrunner restores the default.
+	MinMeasure = 10 * time.Millisecond
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	for _, exp := range Experiments() {
+		buf.Reset()
+		if err := r.Run(exp); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", exp)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	if err := r.Run("nope"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Profiles = []string{"acl1"}
+	cfg.SmallSizes = []int{200}
+	cfg.Size = 400
+	r := NewRunner(cfg)
+	if err := r.Run("all"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Table 2", "Figure 8", "Figure 14", "§5.3.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("combined output missing %q", want)
+		}
+	}
+}
+
+func TestBuildBaselineNames(t *testing.T) {
+	rs := classbench.Generate(classbench.Profiles()[0], 200)
+	for _, b := range Baselines() {
+		c, err := BuildBaseline(b, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == nil {
+			t.Fatalf("%s: nil classifier", b)
+		}
+	}
+	if _, err := BuildBaseline("bogus", rs); err == nil {
+		t.Error("bogus baseline must error")
+	}
+	if _, err := NMOptions("bogus", 64); err == nil {
+		t.Error("bogus baseline must error in NMOptions")
+	}
+}
+
+func TestNMOptionsPerBaseline(t *testing.T) {
+	tm, err := NMOptions(TM, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.MaxISets != 4 || tm.MinCoverage != 0.05 {
+		t.Errorf("tm options = %+v, want 4 iSets at 5%%", tm)
+	}
+	cs, err := NMOptions(CS, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.MaxISets != 2 || cs.MinCoverage != 0.25 {
+		t.Errorf("cs options = %+v, want 2 iSets at 25%%", cs)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); got != 4 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{-1, 0, 4}); got != 4 {
+		t.Errorf("GeoMean with non-positives = %v, want 4", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 6})
+	if m != 4 {
+		t.Errorf("mean = %v", m)
+	}
+	if s < 1.6 || s > 1.7 {
+		t.Errorf("std = %v, want ~1.63", s)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Error("MeanStd(nil) must be zero")
+	}
+}
+
+func TestThroughputMeasuresAgree(t *testing.T) {
+	rs := classbench.Generate(classbench.Profiles()[0], 300)
+	c, err := BuildBaseline(TM, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	tr := trace.Uniform(rng, rs, 2000)
+	t1 := Throughput1(c, tr.Packets)
+	if t1 <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+	l1 := Latency1(c, tr.Packets)
+	if l1 <= 0 {
+		t.Fatal("non-positive latency")
+	}
+	// Two instances on two goroutines should not be slower than one.
+	t2 := Throughput2(c, tr.Packets)
+	if t2 < t1*0.8 {
+		t.Errorf("2-core throughput %.0f < 0.8x single-core %.0f", t2, t1)
+	}
+}
+
+func TestCachePressureStartsAndStops(t *testing.T) {
+	p := StartCachePressure(2, 1<<20)
+	time.Sleep(20 * time.Millisecond)
+	p.Stop() // must not deadlock
+}
+
+func TestSampleRuleSet(t *testing.T) {
+	rs := classbench.Generate(classbench.Profiles()[0], 500)
+	rng := rand.New(rand.NewSource(3))
+	sub := SampleRuleSet(rng, rs, 100)
+	if sub.Len() != 100 {
+		t.Fatalf("sampled %d, want 100", sub.Len())
+	}
+	if same := SampleRuleSet(rng, rs, 1000); same != rs {
+		t.Error("sampling above size must return the input")
+	}
+	// Order preserved (IDs strictly increasing).
+	for i := 1; i < sub.Len(); i++ {
+		if sub.Rules[i].ID <= sub.Rules[i-1].ID {
+			t.Fatal("sample must preserve order")
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// CachePressure emulates the L3 contention experiments of §5.2 (the CAIDA*
+// column of Figure 12 and the 1.5MB-CAT experiment of §5.2.1). The paper
+// restricts the L3 slice with Intel's Cache Allocation Technology; that
+// hardware knob is unavailable from userspace Go, so contention is produced
+// the way CAT models it: co-running threads continuously stream a working
+// set through the shared cache, evicting the classifier's lines.
+type CachePressure struct {
+	stop    atomic.Bool
+	done    chan struct{}
+	workers int
+	// Sink defeats dead-code elimination of the scan loops.
+	Sink uint64
+}
+
+// StartCachePressure launches workers goroutines each streaming over a
+// private buffer of workingSet bytes. Call Stop when done.
+func StartCachePressure(workers, workingSet int) *CachePressure {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) / 2
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	if workingSet <= 0 {
+		workingSet = 16 << 20
+	}
+	p := &CachePressure{done: make(chan struct{}), workers: workers}
+	for w := 0; w < workers; w++ {
+		go func(seed int) {
+			buf := make([]uint64, workingSet/8)
+			var acc uint64
+			i := seed
+			for !p.stop.Load() {
+				// Stride of 8 words = one cache line per access.
+				for j := 0; j < len(buf); j += 8 {
+					acc += buf[j]
+					buf[j] = acc
+				}
+				i++
+			}
+			atomic.AddUint64(&p.Sink, acc)
+			p.done <- struct{}{}
+		}(w)
+	}
+	return p
+}
+
+// Stop terminates the pressure workers and waits for them.
+func (p *CachePressure) Stop() {
+	p.stop.Store(true)
+	for w := 0; w < p.workers; w++ {
+		<-p.done
+	}
+}

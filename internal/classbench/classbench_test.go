@@ -1,0 +1,153 @@
+package classbench
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"nuevomatch/internal/iset"
+	"nuevomatch/internal/rules"
+)
+
+func TestProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 12 {
+		t.Fatalf("got %d profiles, want 12", len(ps))
+	}
+	wantNames := []string{"acl1", "acl2", "acl3", "acl4", "acl5", "fw1", "fw2", "fw3", "fw4", "fw5", "ipc1", "ipc2"}
+	for i, p := range ps {
+		if p.Name != wantNames[i] {
+			t.Errorf("profile %d name = %q, want %q", i, p.Name, wantNames[i])
+		}
+	}
+	if _, err := ProfileByName("FW3"); err != nil {
+		t.Error("ProfileByName should be case-insensitive")
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile must error")
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	for _, p := range Profiles()[:3] {
+		rs := Generate(p, 2000)
+		if rs.Len() != 2000 {
+			t.Fatalf("%s: got %d rules", p.Name, rs.Len())
+		}
+		if err := rs.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if rs.NumFields != rules.NumFiveTupleFields {
+			t.Fatalf("%s: NumFields = %d", p.Name, rs.NumFields)
+		}
+		// IP fields must be prefixes (required for ClassBench I/O).
+		for i := range rs.Rules {
+			for _, d := range []int{rules.FieldSrcIP, rules.FieldDstIP} {
+				if _, ok := rs.Rules[i].Fields[d].IsPrefix(); !ok {
+					t.Fatalf("%s: rule %d field %d is not a prefix: %v", p.Name, i, d, rs.Rules[i].Fields[d])
+				}
+			}
+			for _, d := range []int{rules.FieldSrcPort, rules.FieldDstPort} {
+				if rs.Rules[i].Fields[d].Hi > 65535 {
+					t.Fatalf("%s: rule %d port exceeds 16 bits", p.Name, i)
+				}
+			}
+			pr := rs.Rules[i].Fields[rules.FieldProto]
+			if !pr.IsFull() && (!pr.IsExact() || pr.Lo > 255) {
+				t.Fatalf("%s: rule %d protocol is neither wildcard nor 8-bit exact", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profiles()[0]
+	a := Generate(p, 500)
+	b := Generate(p, 500)
+	for i := range a.Rules {
+		for d := range a.Rules[i].Fields {
+			if a.Rules[i].Fields[d] != b.Rules[i].Fields[d] {
+				t.Fatal("generation must be deterministic")
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	// Different profiles must produce different rules. Core rules are
+	// wildcard-heavy, so compare whole 5-tuples, where coincidences
+	// between independent streams should be rare.
+	a := Generate(Profiles()[0], 300)
+	b := Generate(Profiles()[1], 300)
+	same := 0
+	for i := range a.Rules {
+		equal := true
+		for d := range a.Rules[i].Fields {
+			if a.Rules[i].Fields[d] != b.Rules[i].Fields[d] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			same++
+		}
+	}
+	if same > 30 {
+		t.Errorf("%d/300 identical rules between different profiles", same)
+	}
+}
+
+// TestCoverageImprovesWithScale is the Table 2 trend: 1-iSet coverage grows
+// markedly from 1K to 100K rules.
+func TestCoverageImprovesWithScale(t *testing.T) {
+	p := Profiles()[0]
+	covAt := func(n int) float64 {
+		rs := Generate(p, n)
+		part := iset.Build(rs, iset.Options{MaxISets: 1})
+		return part.Coverage()
+	}
+	small, large := covAt(1000), covAt(50000)
+	if large < small+0.15 {
+		t.Errorf("1-iSet coverage: 1K=%.2f, 50K=%.2f; want clear growth with scale (Table 2)", small, large)
+	}
+	if large < 0.6 {
+		t.Errorf("1-iSet coverage at 50K = %.2f, want >= 0.6 (Table 2 reports ~0.80 at 100K)", large)
+	}
+}
+
+// TestTwoISetsNearSaturation mirrors Table 2's 100K row: two iSets reach
+// high coverage.
+func TestTwoISetsNearSaturation(t *testing.T) {
+	rs := Generate(Profiles()[0], 50000)
+	cov := iset.CumulativeCoverage(rs, 2)
+	if cov[1] < 0.85 {
+		t.Errorf("2-iSet coverage = %.3f, want >= 0.85 (Table 2 reports ~0.965 at 100K)", cov[1])
+	}
+}
+
+func TestMatchingPacketAlwaysMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rs := Generate(Profiles()[5], 500)
+	for i := 0; i < 2000; i++ {
+		r := &rs.Rules[rng.Intn(rs.Len())]
+		p := MatchingPacket(rng, r)
+		if !r.Matches(p) {
+			t.Fatalf("MatchingPacket(%+v) = %v does not match", r, p)
+		}
+	}
+}
+
+func TestClassBenchFormatRoundTrip(t *testing.T) {
+	rs := Generate(Profiles()[3], 200)
+	var buf bytes.Buffer
+	if err := rules.WriteClassBench(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rules.ReadClassBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rs.Len() {
+		t.Fatalf("round trip: %d != %d", back.Len(), rs.Len())
+	}
+}

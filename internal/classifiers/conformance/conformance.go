@@ -1,0 +1,169 @@
+// Package conformance provides the shared correctness harness for every
+// classifier in the repository: randomized rule-sets with realistic
+// structure (prefixes, ranges, exact values, wildcards, duplicated field
+// values) are classified against the linear-scan reference, both for plain
+// lookups and for the early-termination (bounded) variant.
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"nuevomatch/internal/rules"
+)
+
+// RandomRuleSet generates n rules over numFields dimensions mixing the
+// structures real rule-sets exhibit: IP-like prefixes, port-like ranges,
+// exact values, wildcards, and deliberate duplicates that force overlap.
+func RandomRuleSet(rng *rand.Rand, n, numFields int) *rules.RuleSet {
+	rs := rules.NewRuleSet(numFields)
+	for i := 0; i < n; i++ {
+		fields := make([]rules.Range, numFields)
+		for d := range fields {
+			switch rng.Intn(5) {
+			case 0: // prefix
+				fields[d] = rules.PrefixRange(rng.Uint32(), 4+rng.Intn(29))
+			case 1: // arbitrary range
+				lo := rng.Uint32()
+				span := rng.Uint32() % (1 << uint(4+rng.Intn(20)))
+				hi := lo + span
+				if hi < lo {
+					hi = rules.MaxValue
+				}
+				fields[d] = rules.Range{Lo: lo, Hi: hi}
+			case 2: // exact
+				fields[d] = rules.ExactRange(rng.Uint32() % 10000)
+			case 3: // wildcard
+				fields[d] = rules.FullRange()
+			default: // low-diversity exact value (forces overlaps)
+				fields[d] = rules.ExactRange(uint32(rng.Intn(4)))
+			}
+		}
+		rs.AddAuto(fields...)
+	}
+	return rs
+}
+
+// RandomPacket returns a packet biased toward matching: half the time it is
+// drawn from inside a random rule's box, otherwise uniformly.
+func RandomPacket(rng *rand.Rand, rs *rules.RuleSet) rules.Packet {
+	p := make(rules.Packet, rs.NumFields)
+	if rs.Len() > 0 && rng.Intn(2) == 0 {
+		r := &rs.Rules[rng.Intn(rs.Len())]
+		for d, f := range r.Fields {
+			p[d] = f.Lo + uint32(rng.Uint64()%f.Size())
+		}
+		return p
+	}
+	for d := range p {
+		p[d] = rng.Uint32()
+	}
+	return p
+}
+
+// Check builds the classifier on randomized rule-sets and verifies that
+// Lookup agrees with the reference on every probe, and — when the
+// classifier implements rules.BoundedClassifier — that LookupWithBound
+// honors the early-termination contract.
+func Check(t *testing.T, build rules.Builder, seed int64, sizes []int, probes int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for _, n := range sizes {
+		rs := RandomRuleSet(rng, n, 5)
+		c, err := build(rs)
+		if err != nil {
+			t.Fatalf("build(%d rules): %v", n, err)
+		}
+		bounded, hasBound := c.(rules.BoundedClassifier)
+		for i := 0; i < probes; i++ {
+			p := RandomPacket(rng, rs)
+			want := rs.MatchID(p)
+			got := c.Lookup(p)
+			if got != want {
+				t.Fatalf("%s: size %d probe %d: Lookup(%v) = %d, want %d", c.Name(), n, i, p, got, want)
+			}
+			if !hasBound {
+				continue
+			}
+			// With a bound equal to the winner's priority, the winner must
+			// be suppressed (strict inequality contract).
+			if want >= 0 {
+				prio := priorityOf(rs, want)
+				if g := bounded.LookupWithBound(p, prio); g != rules.NoMatch {
+					gotPrio := priorityOf(rs, g)
+					if gotPrio >= prio {
+						t.Fatalf("%s: LookupWithBound(bound=%d) returned %d with prio %d", c.Name(), prio, g, gotPrio)
+					}
+				}
+				// With a bound just above it, the winner must be found.
+				if g := bounded.LookupWithBound(p, prio+1); g != want {
+					t.Fatalf("%s: LookupWithBound(bound=%d) = %d, want %d", c.Name(), prio+1, g, want)
+				}
+			} else if g := bounded.LookupWithBound(p, 1<<30); g != rules.NoMatch {
+				t.Fatalf("%s: LookupWithBound on non-matching packet = %d", c.Name(), g)
+			}
+		}
+		if c.MemoryFootprint() < 0 {
+			t.Fatalf("%s: negative memory footprint", c.Name())
+		}
+	}
+}
+
+// CheckDegenerate exercises the structural corner cases: an empty rule-set,
+// a single wildcard rule, fully identical rules, and one-field rules.
+func CheckDegenerate(t *testing.T, build rules.Builder) {
+	t.Helper()
+	empty := rules.NewRuleSet(5)
+	c, err := build(empty)
+	if err != nil {
+		t.Fatalf("build(empty): %v", err)
+	}
+	if got := c.Lookup(rules.Packet{1, 2, 3, 4, 5}); got != rules.NoMatch {
+		t.Fatalf("empty classifier returned %d", got)
+	}
+
+	wild := rules.NewRuleSet(5)
+	wild.AddAuto(rules.FullRange(), rules.FullRange(), rules.FullRange(), rules.FullRange(), rules.FullRange())
+	c, err = build(wild)
+	if err != nil {
+		t.Fatalf("build(wildcard): %v", err)
+	}
+	if got := c.Lookup(rules.Packet{9, 9, 9, 9, 9}); got != 0 {
+		t.Fatalf("wildcard classifier returned %d, want 0", got)
+	}
+
+	same := rules.NewRuleSet(2)
+	for i := 0; i < 20; i++ {
+		same.AddAuto(rules.ExactRange(5), rules.Range{Lo: 10, Hi: 20})
+	}
+	c, err = build(same)
+	if err != nil {
+		t.Fatalf("build(identical): %v", err)
+	}
+	if got := c.Lookup(rules.Packet{5, 15}); got != 0 {
+		t.Fatalf("identical-rules classifier returned %d, want 0 (best priority)", got)
+	}
+	if got := c.Lookup(rules.Packet{5, 21}); got != rules.NoMatch {
+		t.Fatalf("identical-rules classifier returned %d, want no match", got)
+	}
+
+	one := rules.NewRuleSet(1)
+	one.AddAuto(rules.Range{Lo: 100, Hi: 200})
+	one.AddAuto(rules.Range{Lo: 150, Hi: 250})
+	c, err = build(one)
+	if err != nil {
+		t.Fatalf("build(1-field): %v", err)
+	}
+	if got := c.Lookup(rules.Packet{175}); got != 0 {
+		t.Fatalf("1-field classifier returned %d, want 0", got)
+	}
+}
+
+func priorityOf(rs *rules.RuleSet, id int) int32 {
+	for i := range rs.Rules {
+		if rs.Rules[i].ID == id {
+			return rs.Rules[i].Priority
+		}
+	}
+	return -1
+}

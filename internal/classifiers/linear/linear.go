@@ -1,0 +1,124 @@
+// Package linear provides the priority-ordered linear-scan classifier: the
+// correctness reference for every other algorithm and the natural remainder
+// index for very small remainders. It trivially supports updates.
+package linear
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"nuevomatch/internal/rules"
+)
+
+// Classifier scans rules in priority order and returns the first match.
+type Classifier struct {
+	mu    sync.RWMutex
+	rules []rules.Rule // sorted by ascending priority value
+	byID  map[int]int  // id -> position in rules
+}
+
+var (
+	_ rules.BoundedClassifier = (*Classifier)(nil)
+	_ rules.Updatable         = (*Classifier)(nil)
+)
+
+// New builds a linear classifier over a snapshot of rs.
+func New(rs *rules.RuleSet) *Classifier {
+	c := &Classifier{byID: make(map[int]int, rs.Len())}
+	c.rules = append(c.rules, rs.Rules...)
+	sort.SliceStable(c.rules, func(i, j int) bool {
+		if c.rules[i].Priority != c.rules[j].Priority {
+			return c.rules[i].Priority < c.rules[j].Priority
+		}
+		return c.rules[i].ID < c.rules[j].ID
+	})
+	c.reindex()
+	return c
+}
+
+// Build adapts New to the rules.Builder signature.
+func Build(rs *rules.RuleSet) (rules.Classifier, error) { return New(rs), nil }
+
+func (c *Classifier) reindex() {
+	for i := range c.rules {
+		c.byID[c.rules[i].ID] = i
+	}
+}
+
+// Name implements rules.Classifier.
+func (c *Classifier) Name() string { return "linear" }
+
+// Lookup implements rules.Classifier.
+func (c *Classifier) Lookup(p rules.Packet) int {
+	return c.LookupWithBound(p, math.MaxInt32)
+}
+
+// LookupWithBound implements rules.BoundedClassifier: rules are scanned in
+// priority order, so the scan stops at the first match or as soon as the
+// remaining rules cannot beat bestPrio.
+func (c *Classifier) LookupWithBound(p rules.Packet, bestPrio int32) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i := range c.rules {
+		r := &c.rules[i]
+		if r.Priority >= bestPrio {
+			return rules.NoMatch
+		}
+		if r.Matches(p) {
+			return r.ID
+		}
+	}
+	return rules.NoMatch
+}
+
+// MemoryFootprint implements rules.Classifier. The linear scan has no index
+// beyond the priority-sorted order, accounted as one 4-byte position per
+// rule.
+func (c *Classifier) MemoryFootprint() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return 4 * len(c.rules)
+}
+
+// Len returns the current number of rules.
+func (c *Classifier) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.rules)
+}
+
+// Insert implements rules.Updatable.
+func (c *Classifier) Insert(r rules.Rule) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byID[r.ID]; dup {
+		return fmt.Errorf("linear: duplicate rule ID %d", r.ID)
+	}
+	pos := sort.Search(len(c.rules), func(i int) bool {
+		if c.rules[i].Priority != r.Priority {
+			return c.rules[i].Priority > r.Priority
+		}
+		return c.rules[i].ID > r.ID
+	})
+	c.rules = append(c.rules, rules.Rule{})
+	copy(c.rules[pos+1:], c.rules[pos:])
+	c.rules[pos] = r
+	c.reindex()
+	return nil
+}
+
+// Delete implements rules.Updatable.
+func (c *Classifier) Delete(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pos, ok := c.byID[id]
+	if !ok {
+		return fmt.Errorf("linear: no rule with ID %d", id)
+	}
+	c.rules = append(c.rules[:pos], c.rules[pos+1:]...)
+	delete(c.byID, id)
+	c.reindex()
+	return nil
+}

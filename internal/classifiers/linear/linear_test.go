@@ -1,0 +1,99 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+
+	"nuevomatch/internal/classifiers/conformance"
+	"nuevomatch/internal/rules"
+)
+
+func TestConformance(t *testing.T) {
+	conformance.Check(t, Build, 1, []int{1, 10, 100, 500}, 200)
+}
+
+func TestDegenerate(t *testing.T) {
+	conformance.CheckDegenerate(t, Build)
+}
+
+func TestInsertDelete(t *testing.T) {
+	rs := rules.NewRuleSet(1)
+	rs.AddAuto(rules.Range{Lo: 0, Hi: 9})
+	rs.AddAuto(rules.Range{Lo: 5, Hi: 14})
+	c := New(rs)
+
+	if got := c.Lookup(rules.Packet{7}); got != 0 {
+		t.Fatalf("Lookup = %d, want 0", got)
+	}
+	// Insert a higher-priority rule (smaller value) covering 7.
+	if err := c.Insert(rules.Rule{ID: 99, Priority: 0, Fields: []rules.Range{{Lo: 7, Hi: 7}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Lookup(rules.Packet{7}); got != 99 {
+		t.Fatalf("Lookup after insert = %d, want 99", got)
+	}
+	if err := c.Insert(rules.Rule{ID: 99, Priority: 5, Fields: []rules.Range{{Lo: 0, Hi: 1}}}); err == nil {
+		t.Fatal("duplicate ID insert should fail")
+	}
+	if err := c.Delete(99); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Lookup(rules.Packet{7}); got != 0 {
+		t.Fatalf("Lookup after delete = %d, want 0", got)
+	}
+	if err := c.Delete(99); err == nil {
+		t.Fatal("double delete should fail")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestUpdatesAgainstReference(t *testing.T) {
+	// Random interleavings of insert/delete/lookup stay consistent with a
+	// shadow rule-set.
+	rng := rand.New(rand.NewSource(3))
+	shadow := rules.NewRuleSet(2)
+	c := New(shadow)
+	nextID := 0
+	live := map[int]rules.Rule{}
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(live) == 0:
+			r := rules.Rule{
+				ID:       nextID,
+				Priority: int32(rng.Intn(50)),
+				Fields: []rules.Range{
+					{Lo: rng.Uint32() % 100, Hi: rng.Uint32()%100 + 100},
+					{Lo: rng.Uint32() % 100, Hi: rng.Uint32()%100 + 100},
+				},
+			}
+			nextID++
+			live[r.ID] = r
+			if err := c.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+		case op == 1:
+			for id := range live {
+				delete(live, id)
+				if err := c.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		default:
+			p := rules.Packet{rng.Uint32() % 300, rng.Uint32() % 300}
+			ref := rules.NewRuleSet(2)
+			for _, r := range live {
+				ref.Add(r)
+			}
+			if got, want := c.Lookup(p), ref.MatchID(p); got != want {
+				// Ties on priority may resolve differently; accept equal
+				// priority winners.
+				if got < 0 || want < 0 || live[got].Priority != live[want].Priority {
+					t.Fatalf("step %d: Lookup(%v) = %d, want %d", step, p, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package tss implements Tuple Space Search (Srinivasan et al., SIGCOMM
+// 1999): one hash table per distinct tuple of per-field prefix lengths.
+// Classification probes every table and keeps the best-priority verified
+// match. It is the classifier Open vSwitch invokes on megaflow-cache misses
+// and the ancestor of TupleMerge.
+package tss
+
+import (
+	"math"
+	"sort"
+
+	"nuevomatch/internal/classifiers/tuplehash"
+	"nuevomatch/internal/rules"
+)
+
+type table struct {
+	lens     []uint8
+	buckets  map[uint64][]int32
+	bestPrio int32
+	entries  int
+}
+
+// Classifier is a set of per-tuple hash tables ordered by best priority, so
+// probing can stop as soon as no later table can improve on the current
+// match.
+type Classifier struct {
+	rules  []rules.Rule
+	tables []*table
+}
+
+var _ rules.BoundedClassifier = (*Classifier)(nil)
+
+// New builds the tuple space over a snapshot of rs.
+func New(rs *rules.RuleSet) *Classifier {
+	c := &Classifier{rules: append([]rules.Rule(nil), rs.Rules...)}
+	byKey := make(map[string]*table)
+	for i := range c.rules {
+		r := &c.rules[i]
+		lens := tuplehash.Lens(r)
+		key := tuplehash.Key(lens)
+		t, ok := byKey[key]
+		if !ok {
+			t = &table{lens: lens, buckets: make(map[uint64][]int32), bestPrio: math.MaxInt32}
+			byKey[key] = t
+			c.tables = append(c.tables, t)
+		}
+		h := tuplehash.HashRule(r, t.lens)
+		t.buckets[h] = append(t.buckets[h], int32(i))
+		t.entries++
+		if r.Priority < t.bestPrio {
+			t.bestPrio = r.Priority
+		}
+	}
+	sort.SliceStable(c.tables, func(a, b int) bool { return c.tables[a].bestPrio < c.tables[b].bestPrio })
+	return c
+}
+
+// Build adapts New to the rules.Builder signature.
+func Build(rs *rules.RuleSet) (rules.Classifier, error) { return New(rs), nil }
+
+// Name implements rules.Classifier.
+func (c *Classifier) Name() string { return "tss" }
+
+// NumTables returns the number of hash tables (distinct tuples).
+func (c *Classifier) NumTables() int { return len(c.tables) }
+
+// Lookup implements rules.Classifier.
+func (c *Classifier) Lookup(p rules.Packet) int {
+	return c.LookupWithBound(p, math.MaxInt32)
+}
+
+// LookupWithBound implements rules.BoundedClassifier. Tables are sorted by
+// their best priority, so the probe loop stops at the first table that
+// cannot beat the running best — the early-termination variant of §4.
+func (c *Classifier) LookupWithBound(p rules.Packet, bestPrio int32) int {
+	best := rules.NoMatch
+	for _, t := range c.tables {
+		if t.bestPrio >= bestPrio {
+			break
+		}
+		h := tuplehash.HashPacket(p, t.lens)
+		for _, ri := range t.buckets[h] {
+			r := &c.rules[ri]
+			if r.Priority < bestPrio && r.Matches(p) {
+				best = r.ID
+				bestPrio = r.Priority
+			}
+		}
+	}
+	return best
+}
+
+// MemoryFootprint implements rules.Classifier: per-table fixed overhead plus
+// hash-map entries (8-byte hash key + 4-byte position + bucket overhead).
+func (c *Classifier) MemoryFootprint() int {
+	total := 0
+	for _, t := range c.tables {
+		total += 64 + len(t.lens) + 16*t.entries
+	}
+	return total
+}

@@ -1,0 +1,56 @@
+package tss
+
+import (
+	"math/rand"
+	"testing"
+
+	"nuevomatch/internal/classifiers/conformance"
+	"nuevomatch/internal/rules"
+)
+
+func TestConformance(t *testing.T) {
+	conformance.Check(t, Build, 2, []int{1, 10, 100, 500}, 200)
+}
+
+func TestDegenerate(t *testing.T) {
+	conformance.CheckDegenerate(t, Build)
+}
+
+func TestTablesGroupByTuple(t *testing.T) {
+	rs := rules.NewRuleSet(2)
+	// Two distinct tuples: (/16, exact) and (/8, wildcard).
+	for i := 0; i < 10; i++ {
+		rs.AddAuto(rules.PrefixRange(uint32(i)<<16, 16), rules.ExactRange(uint32(i)))
+	}
+	for i := 0; i < 10; i++ {
+		rs.AddAuto(rules.PrefixRange(uint32(i)<<24, 8), rules.FullRange())
+	}
+	c := New(rs)
+	if got := c.NumTables(); got != 2 {
+		t.Errorf("NumTables = %d, want 2", got)
+	}
+}
+
+func TestPortRangeFalsePositiveElimination(t *testing.T) {
+	// [1024, 65535] has common prefix length 16 over the 32-bit domain
+	// (upper 16 bits zero); port 512 shares that masked key but is outside
+	// the range — verification must reject it.
+	rs := rules.NewRuleSet(1)
+	rs.AddAuto(rules.Range{Lo: 1024, Hi: 65535})
+	c := New(rs)
+	if got := c.Lookup(rules.Packet{512}); got != rules.NoMatch {
+		t.Errorf("Lookup(512) = %d, want no match", got)
+	}
+	if got := c.Lookup(rules.Packet{2048}); got != 0 {
+		t.Errorf("Lookup(2048) = %d, want 0", got)
+	}
+}
+
+func TestMemoryGrowsWithRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	small := conformance.RandomRuleSet(rng, 50, 5)
+	big := conformance.RandomRuleSet(rng, 2000, 5)
+	if New(small).MemoryFootprint() >= New(big).MemoryFootprint() {
+		t.Error("memory footprint should grow with the rule count")
+	}
+}

@@ -1,0 +1,90 @@
+// Package tuplehash holds the masking and hashing helpers shared by the
+// Tuple Space Search and TupleMerge classifiers: a rule's tuple is the
+// vector of its per-field effective prefix lengths, and lookup keys are
+// FNV-1a hashes of packet fields masked to a table's tuple.
+//
+// Port ranges and other non-prefix ranges are represented by the longest
+// prefix covering the range (Range.CommonPrefixLen); false positives this
+// introduces are eliminated by the exact verification step every hash-based
+// classifier performs anyway.
+package tuplehash
+
+import "nuevomatch/internal/rules"
+
+// Lens returns the tuple of r: the effective prefix length of each field.
+func Lens(r *rules.Rule) []uint8 {
+	out := make([]uint8, len(r.Fields))
+	for d, f := range r.Fields {
+		out[d] = uint8(f.CommonPrefixLen())
+	}
+	return out
+}
+
+// Mask keeps the top n bits of v.
+func Mask(v uint32, n uint8) uint32 {
+	if n == 0 {
+		return 0
+	}
+	if n >= 32 {
+		return v
+	}
+	return v &^ (1<<(32-n) - 1)
+}
+
+// CoversTuple reports whether a table tuple t can store a rule tuple r:
+// every table length must be at most the rule's (masking strictly loses
+// information, never invents it).
+func CoversTuple(t, r []uint8) bool {
+	for d := range t {
+		if t[d] > r[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the total specified bits of a tuple — the "tightness" used to
+// rank candidate tables.
+func Sum(t []uint8) int {
+	s := 0
+	for _, v := range t {
+		s += int(v)
+	}
+	return s
+}
+
+// Key converts a tuple to a comparable map key.
+func Key(t []uint8) string { return string(t) }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashPacket hashes the packet fields masked to the tuple.
+func HashPacket(p rules.Packet, lens []uint8) uint64 {
+	h := uint64(fnvOffset)
+	for d, n := range lens {
+		v := Mask(p[d], n)
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(v>>shift) & 0xff
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// HashRule hashes a rule's range starts masked to the tuple; a packet inside
+// the rule hashes identically because the tuple never exceeds the rule's
+// effective prefix lengths.
+func HashRule(r *rules.Rule, lens []uint8) uint64 {
+	h := uint64(fnvOffset)
+	for d, n := range lens {
+		v := Mask(r.Fields[d].Lo, n)
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(v>>shift) & 0xff
+			h *= fnvPrime
+		}
+	}
+	return h
+}

@@ -1,0 +1,109 @@
+package tuplehash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nuevomatch/internal/rules"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		n    uint8
+		want uint32
+	}{
+		{0xffffffff, 0, 0},
+		{0xffffffff, 8, 0xff000000},
+		{0xffffffff, 32, 0xffffffff},
+		{0xffffffff, 33, 0xffffffff},
+		{0x12345678, 16, 0x12340000},
+	}
+	for _, c := range cases {
+		if got := Mask(c.v, c.n); got != c.want {
+			t.Errorf("Mask(%#x, %d) = %#x, want %#x", c.v, c.n, got, c.want)
+		}
+	}
+}
+
+func TestLens(t *testing.T) {
+	r := rules.Rule{Fields: []rules.Range{
+		rules.PrefixRange(0x0a0b0000, 16),
+		rules.FullRange(),
+		rules.ExactRange(80),
+		{Lo: 1024, Hi: 65535},
+	}}
+	got := Lens(&r)
+	want := []uint8{16, 0, 32, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Lens[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCoversTupleAndSum(t *testing.T) {
+	if !CoversTuple([]uint8{8, 0}, []uint8{16, 4}) {
+		t.Error("shorter tuple must cover longer")
+	}
+	if CoversTuple([]uint8{24, 0}, []uint8{16, 4}) {
+		t.Error("longer tuple must not cover shorter")
+	}
+	if Sum([]uint8{8, 16, 0}) != 24 {
+		t.Error("Sum mismatch")
+	}
+	if Key([]uint8{1, 2}) == Key([]uint8{2, 1}) {
+		t.Error("Key must distinguish tuples")
+	}
+}
+
+// TestPacketInRuleHashesEqually is the correctness keystone for the
+// hash-based classifiers: any packet inside a rule must hash to the rule's
+// bucket under any tuple the rule's table may use (lengths ≤ rule lengths).
+func TestPacketInRuleHashesEqually(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rules.Rule{Fields: make([]rules.Range, 3)}
+		p := make(rules.Packet, 3)
+		for d := range r.Fields {
+			switch rng.Intn(3) {
+			case 0:
+				r.Fields[d] = rules.PrefixRange(rng.Uint32(), rng.Intn(33))
+			case 1:
+				lo := rng.Uint32() >> 1
+				r.Fields[d] = rules.Range{Lo: lo, Hi: lo + rng.Uint32()>>8}
+			default:
+				r.Fields[d] = rules.ExactRange(rng.Uint32())
+			}
+			p[d] = r.Fields[d].Lo + uint32(rng.Uint64()%r.Fields[d].Size())
+		}
+		exact := Lens(&r)
+		relaxed := make([]uint8, len(exact))
+		for d := range relaxed {
+			relaxed[d] = exact[d] / 8 * 8
+		}
+		return HashPacket(p, exact) == HashRule(&r, exact) &&
+			HashPacket(p, relaxed) == HashRule(&r, relaxed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashDiscriminates(t *testing.T) {
+	// Different masked values should (overwhelmingly) hash differently.
+	lens := []uint8{32, 32}
+	seen := make(map[uint64]bool)
+	collisions := 0
+	for i := uint32(0); i < 1000; i++ {
+		h := HashPacket(rules.Packet{i, i * 7}, lens)
+		if seen[h] {
+			collisions++
+		}
+		seen[h] = true
+	}
+	if collisions > 0 {
+		t.Errorf("%d collisions in 1000 distinct keys", collisions)
+	}
+}

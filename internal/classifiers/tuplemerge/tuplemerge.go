@@ -1,0 +1,358 @@
+// Package tuplemerge implements the TupleMerge baseline (Daly et al.,
+// IEEE/ACM ToN 2019), the update-capable hash-based classifier NuevoMatch
+// uses as its default remainder index. TupleMerge improves on Tuple Space
+// Search in two ways reproduced here:
+//
+//   - Table merging: a table's tuple is a relaxed (element-wise ≤) version
+//     of its rules' tuples, so rules with similar — not identical — prefix
+//     lengths share one table, shrinking the number of probes per lookup.
+//     New tables round lengths down to multiples of 8 bits to attract
+//     future rules.
+//   - Collision limiting: when one hash bucket exceeds the collision limit
+//     (the paper's evaluation uses 40), the most specific colliding rules
+//     are migrated into a new, tighter table.
+//
+// The classifier supports online Insert/Delete (§3.9 of the NuevoMatch
+// paper relies on this for the remainder).
+package tuplemerge
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"nuevomatch/internal/classifiers/tuplehash"
+	"nuevomatch/internal/rules"
+)
+
+// Config tunes the classifier.
+type Config struct {
+	// CollisionLimit caps one hash bucket; the paper uses 40.
+	CollisionLimit int
+	// RelaxBits rounds new tables' tuple lengths down to this granularity
+	// and RelaxCap truncates them — the merging levers. The defaults
+	// (16/16) give every field just two mask classes {0, 16}, so a handful
+	// of loose tables absorb the whole rule-set and the collision limit
+	// splits out tighter tables only where buckets actually overflow.
+	// TupleMerge's published behaviour — roughly an order of magnitude
+	// fewer tables than TSS — emerges from exactly this start-loose,
+	// tighten-under-pressure design. RelaxBits=1 with RelaxCap=32
+	// degenerates to TSS-shaped exact tuples.
+	RelaxBits int
+	RelaxCap  int
+}
+
+// DefaultConfig matches the configuration evaluated in the paper.
+func DefaultConfig() Config { return Config{CollisionLimit: 40, RelaxBits: 16, RelaxCap: 16} }
+
+type table struct {
+	lens     []uint8
+	buckets  map[uint64][]int32
+	entries  int
+	bestPrio int32
+}
+
+func (t *table) insert(c *Classifier, pos int32) {
+	h := tuplehash.HashRule(&c.rules[pos], t.lens)
+	// Buckets stay sorted by ascending priority value so lookup scans can
+	// stop at the first entry that cannot beat the running best.
+	b := t.buckets[h]
+	prio := c.rules[pos].Priority
+	at := sort.Search(len(b), func(i int) bool { return c.rules[b[i]].Priority > prio })
+	b = append(b, 0)
+	copy(b[at+1:], b[at:])
+	b[at] = pos
+	t.buckets[h] = b
+	t.entries++
+	if prio < t.bestPrio {
+		t.bestPrio = prio
+	}
+	c.whereIs[c.rules[pos].ID] = ref{t, h}
+}
+
+type ref struct {
+	t *table
+	h uint64
+}
+
+// Classifier is the TupleMerge table set. All methods are safe for
+// concurrent use; lookups take a read lock.
+type Classifier struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	rules   []rules.Rule // slot-stable storage; holes after delete
+	free    []int32      // recycled slots
+	tables  []*table     // sorted by bestPrio
+	whereIs map[int]ref  // rule ID -> table/bucket
+}
+
+var (
+	_ rules.BoundedClassifier = (*Classifier)(nil)
+	_ rules.Updatable         = (*Classifier)(nil)
+)
+
+// New builds a TupleMerge classifier over a snapshot of rs.
+func New(rs *rules.RuleSet, cfg Config) *Classifier {
+	if cfg.CollisionLimit <= 0 {
+		cfg.CollisionLimit = 40
+	}
+	if cfg.RelaxBits <= 0 {
+		cfg.RelaxBits = 16
+	}
+	if cfg.RelaxCap <= 0 {
+		cfg.RelaxCap = 16
+	}
+	c := &Classifier{cfg: cfg, whereIs: make(map[int]ref, rs.Len())}
+	// Insert in priority order: more important rules pick table shapes
+	// first, which is TupleMerge's offline construction order.
+	order := make([]int, rs.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return rs.Rules[order[a]].Priority < rs.Rules[order[b]].Priority
+	})
+	for _, i := range order {
+		// Build-time inserts cannot collide on IDs: rs was validated.
+		_ = c.Insert(rs.Rules[i])
+	}
+	return c
+}
+
+// Build adapts New (with defaults) to the rules.Builder signature.
+func Build(rs *rules.RuleSet) (rules.Classifier, error) {
+	return New(rs, DefaultConfig()), nil
+}
+
+// Name implements rules.Classifier.
+func (c *Classifier) Name() string { return "tuplemerge" }
+
+// NumTables returns the number of hash tables.
+func (c *Classifier) NumTables() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tables)
+}
+
+// Len returns the number of rules currently stored.
+func (c *Classifier) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.whereIs)
+}
+
+// relax rounds tuple lengths down to the merge granularity and caps them.
+func (c *Classifier) relax(lens []uint8) []uint8 {
+	out := make([]uint8, len(lens))
+	g := uint8(c.cfg.RelaxBits)
+	cap16 := uint8(c.cfg.RelaxCap)
+	for d, v := range lens {
+		v = v / g * g
+		if v > cap16 {
+			v = cap16
+		}
+		out[d] = v
+	}
+	return out
+}
+
+// Insert implements rules.Updatable.
+func (c *Classifier) Insert(r rules.Rule) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.whereIs[r.ID]; dup {
+		return fmt.Errorf("tuplemerge: duplicate rule ID %d", r.ID)
+	}
+	var pos int32
+	if n := len(c.free); n > 0 {
+		pos = c.free[n-1]
+		c.free = c.free[:n-1]
+		c.rules[pos] = r
+	} else {
+		pos = int32(len(c.rules))
+		c.rules = append(c.rules, r)
+	}
+	c.place(pos)
+	return nil
+}
+
+// place routes the rule at pos into the tightest compatible table, creating
+// a relaxed table when none fits, then enforces the collision limit.
+func (c *Classifier) place(pos int32) {
+	r := &c.rules[pos]
+	lens := tuplehash.Lens(r)
+	var best *table
+	for _, t := range c.tables {
+		if tuplehash.CoversTuple(t.lens, lens) {
+			if best == nil || tuplehash.Sum(t.lens) > tuplehash.Sum(best.lens) {
+				best = t
+			}
+		}
+	}
+	if best == nil {
+		best = &table{lens: c.relax(lens), buckets: make(map[uint64][]int32), bestPrio: math.MaxInt32}
+		c.tables = append(c.tables, best)
+	}
+	best.insert(c, pos)
+	c.sortTables()
+
+	h := c.whereIs[r.ID].h
+	if len(best.buckets[h]) > c.cfg.CollisionLimit {
+		c.splitBucket(best, h)
+	}
+}
+
+// splitBucket migrates the most specific rules of an overflowing bucket
+// into one new, strictly tighter table whose tuple is the element-wise
+// minimum of the movers' exact tuples. Finer masks spread the movers over
+// distinct buckets; if they still collide there, further splits tighten the
+// chain until rules are either separated or share identical exact tuples
+// (which no tuple-space scheme can separate — the bucket is accepted and
+// the priority-sorted scan bounds its cost).
+func (c *Classifier) splitBucket(t *table, h uint64) {
+	bucket := t.buckets[h]
+	moved := make([]int32, 0, len(bucket))
+	kept := bucket[:0]
+	tsum := tuplehash.Sum(t.lens)
+	var minLens []uint8
+	for _, pos := range bucket {
+		lens := tuplehash.Lens(&c.rules[pos])
+		if tuplehash.Sum(lens) > tsum {
+			moved = append(moved, pos)
+			if minLens == nil {
+				minLens = append([]uint8(nil), lens...)
+			} else {
+				for d := range minLens {
+					if lens[d] < minLens[d] {
+						minLens[d] = lens[d]
+					}
+				}
+			}
+		} else {
+			kept = append(kept, pos)
+		}
+	}
+	if len(moved) == 0 {
+		return // every rule is exactly as specific as the table: accept
+	}
+	if tuplehash.Sum(minLens) <= tsum {
+		// Element-wise min degenerated to the parent tuple: fall back to
+		// the exact tuple of the most specific mover to guarantee
+		// progress.
+		best := moved[0]
+		for _, pos := range moved[1:] {
+			if tuplehash.Sum(tuplehash.Lens(&c.rules[pos])) > tuplehash.Sum(tuplehash.Lens(&c.rules[best])) {
+				best = pos
+			}
+		}
+		minLens = tuplehash.Lens(&c.rules[best])
+		// Keep movers the new tuple cannot host.
+		still := moved[:0]
+		for _, pos := range moved {
+			if tuplehash.CoversTuple(minLens, tuplehash.Lens(&c.rules[pos])) {
+				still = append(still, pos)
+			} else {
+				kept = append(kept, pos)
+			}
+		}
+		moved = still
+		if len(moved) == 0 {
+			t.buckets[h] = kept
+			return
+		}
+	}
+	t.buckets[h] = kept
+	t.entries -= len(moved)
+
+	nt := &table{lens: minLens, buckets: make(map[uint64][]int32), bestPrio: math.MaxInt32}
+	c.tables = append(c.tables, nt)
+	var overflow []uint64
+	for _, pos := range moved {
+		nt.insert(c, pos)
+		nh := c.whereIs[c.rules[pos].ID].h
+		if len(nt.buckets[nh]) == c.cfg.CollisionLimit+1 {
+			overflow = append(overflow, nh)
+		}
+	}
+	c.sortTables()
+	for _, nh := range overflow {
+		if len(nt.buckets[nh]) > c.cfg.CollisionLimit {
+			c.splitBucket(nt, nh)
+		}
+	}
+}
+
+func (c *Classifier) sortTables() {
+	sort.SliceStable(c.tables, func(a, b int) bool { return c.tables[a].bestPrio < c.tables[b].bestPrio })
+}
+
+// Delete implements rules.Updatable.
+func (c *Classifier) Delete(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	loc, ok := c.whereIs[id]
+	if !ok {
+		return fmt.Errorf("tuplemerge: no rule with ID %d", id)
+	}
+	bucket := loc.t.buckets[loc.h]
+	for i, pos := range bucket {
+		if c.rules[pos].ID == id {
+			copy(bucket[i:], bucket[i+1:]) // preserve priority order
+			loc.t.buckets[loc.h] = bucket[:len(bucket)-1]
+			if len(loc.t.buckets[loc.h]) == 0 {
+				delete(loc.t.buckets, loc.h)
+			}
+			loc.t.entries--
+			c.free = append(c.free, pos)
+			break
+		}
+	}
+	delete(c.whereIs, id)
+	// bestPrio is left as-is (a lower bound remains correct for early
+	// termination); table compaction happens on rebuild.
+	return nil
+}
+
+// Lookup implements rules.Classifier.
+func (c *Classifier) Lookup(p rules.Packet) int {
+	return c.LookupWithBound(p, math.MaxInt32)
+}
+
+// LookupWithBound implements rules.BoundedClassifier; tables are sorted by
+// best priority so probing stops when no table can beat the bound.
+func (c *Classifier) LookupWithBound(p rules.Packet, bestPrio int32) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	best := rules.NoMatch
+	for _, t := range c.tables {
+		if t.bestPrio >= bestPrio {
+			break
+		}
+		h := tuplehash.HashPacket(p, t.lens)
+		for _, ri := range t.buckets[h] {
+			r := &c.rules[ri]
+			if r.Priority >= bestPrio {
+				break // bucket is priority-sorted
+			}
+			if r.Matches(p) {
+				best = r.ID
+				bestPrio = r.Priority
+			}
+		}
+	}
+	return best
+}
+
+// MemoryFootprint implements rules.Classifier with the same accounting as
+// the TSS baseline: fixed per-table overhead plus 16 bytes per entry.
+func (c *Classifier) MemoryFootprint() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	total := 0
+	for _, t := range c.tables {
+		total += 64 + len(t.lens) + 16*t.entries
+	}
+	return total
+}

@@ -1,0 +1,164 @@
+package tuplemerge
+
+import (
+	"math/rand"
+	"testing"
+
+	"nuevomatch/internal/classifiers/conformance"
+	"nuevomatch/internal/classifiers/tss"
+	"nuevomatch/internal/rules"
+)
+
+func TestConformance(t *testing.T) {
+	conformance.Check(t, Build, 3, []int{1, 10, 100, 500}, 200)
+}
+
+func TestDegenerate(t *testing.T) {
+	conformance.CheckDegenerate(t, Build)
+}
+
+func TestMergesTablesComparedToTSS(t *testing.T) {
+	// Rules with similar-but-unequal prefix lengths: TSS needs one table
+	// per distinct tuple, TupleMerge folds them into relaxed tables.
+	rng := rand.New(rand.NewSource(7))
+	rs := rules.NewRuleSet(5)
+	for i := 0; i < 400; i++ {
+		rs.AddAuto(
+			rules.PrefixRange(rng.Uint32(), 17+rng.Intn(7)), // /17../23
+			rules.PrefixRange(rng.Uint32(), 9+rng.Intn(7)),  // /9../15
+			rules.FullRange(),
+			rules.ExactRange(uint32(rng.Intn(1000))),
+			rules.ExactRange(6),
+		)
+	}
+	tm := New(rs, DefaultConfig())
+	ts := tss.New(rs)
+	if tm.NumTables() >= ts.NumTables() {
+		t.Errorf("TupleMerge tables = %d, TSS tables = %d; merging should reduce the count",
+			tm.NumTables(), ts.NumTables())
+	}
+	// Merging must not change results.
+	for i := 0; i < 500; i++ {
+		p := conformance.RandomPacket(rng, rs)
+		if got, want := tm.Lookup(p), rs.MatchID(p); got != want {
+			t.Fatalf("Lookup(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestCollisionLimitSplitsTables(t *testing.T) {
+	// Many rules sharing a masked key in a relaxed table but with longer
+	// exact tuples: the bucket must be split instead of growing unbounded.
+	rs := rules.NewRuleSet(2)
+	for i := 0; i < 200; i++ {
+		// All fall into the same /8-masked bucket; exact tuples are /32.
+		rs.AddAuto(rules.ExactRange(0x0a000000|uint32(i)), rules.ExactRange(uint32(i)))
+	}
+	cfg := Config{CollisionLimit: 10, RelaxBits: 8, RelaxCap: 8}
+	c := New(rs, cfg)
+	for i := 0; i < 200; i++ {
+		p := rules.Packet{0x0a000000 | uint32(i), uint32(i)}
+		if got := c.Lookup(p); got != i {
+			t.Fatalf("Lookup(rule %d) = %d", i, got)
+		}
+	}
+}
+
+func TestInsertDeleteLifecycle(t *testing.T) {
+	rs := rules.NewRuleSet(2)
+	c := New(rs, DefaultConfig())
+	r := rules.Rule{ID: 1, Priority: 1, Fields: []rules.Range{{Lo: 10, Hi: 20}, rules.FullRange()}}
+	if err := c.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(r); err == nil {
+		t.Fatal("duplicate insert should fail")
+	}
+	if got := c.Lookup(rules.Packet{15, 3}); got != 1 {
+		t.Fatalf("Lookup = %d, want 1", got)
+	}
+	if err := c.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Lookup(rules.Packet{15, 3}); got != rules.NoMatch {
+		t.Fatalf("Lookup after delete = %d, want no match", got)
+	}
+	if err := c.Delete(1); err == nil {
+		t.Fatal("double delete should fail")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestRandomizedUpdatesAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := New(rules.NewRuleSet(3), DefaultConfig())
+	live := map[int]rules.Rule{}
+	nextID := 0
+	for step := 0; step < 600; step++ {
+		switch op := rng.Intn(4); {
+		case op <= 1 || len(live) == 0: // insert-biased
+			fields := make([]rules.Range, 3)
+			for d := range fields {
+				switch rng.Intn(3) {
+				case 0:
+					fields[d] = rules.PrefixRange(rng.Uint32(), 8*rng.Intn(5))
+				case 1:
+					lo := rng.Uint32() % 1000
+					fields[d] = rules.Range{Lo: lo, Hi: lo + rng.Uint32()%1000}
+				default:
+					fields[d] = rules.ExactRange(rng.Uint32() % 100)
+				}
+			}
+			r := rules.Rule{ID: nextID, Priority: int32(nextID), Fields: fields}
+			nextID++
+			live[r.ID] = r
+			if err := c.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+		case op == 2:
+			for id := range live {
+				delete(live, id)
+				if err := c.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		default:
+			ref := rules.NewRuleSet(3)
+			for _, r := range live {
+				ref.Add(r)
+			}
+			var p rules.Packet
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				p = conformance.RandomPacket(rng, ref)
+			} else {
+				p = rules.Packet{rng.Uint32() % 2000, rng.Uint32() % 2000, rng.Uint32() % 200}
+			}
+			if got, want := c.Lookup(p), ref.MatchID(p); got != want {
+				t.Fatalf("step %d: Lookup(%v) = %d, want %d", step, p, got, want)
+			}
+		}
+	}
+}
+
+func TestRelaxBitsOneDegeneratesToTSS(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rs := conformance.RandomRuleSet(rng, 300, 5)
+	exact := New(rs, Config{CollisionLimit: 40, RelaxBits: 1, RelaxCap: 32})
+	reference := tss.New(rs)
+	// With 1-bit granularity no relaxation happens on table creation, so
+	// the table count cannot be below a TSS build of the same set... but
+	// merging of longer tuples into earlier tables still applies, so it
+	// must be at most the TSS count.
+	if exact.NumTables() > reference.NumTables() {
+		t.Errorf("RelaxBits=1 tables = %d > TSS tables = %d", exact.NumTables(), reference.NumTables())
+	}
+	for i := 0; i < 300; i++ {
+		p := conformance.RandomPacket(rng, rs)
+		if got, want := exact.Lookup(p), rs.MatchID(p); got != want {
+			t.Fatalf("Lookup(%v) = %d, want %d", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"nuevomatch/internal/classifiers/conformance"
+)
+
+func TestLookupNoEarlyTerminationMatchesLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	rs := structuredRuleSet(rng, 400)
+	e, err := Build(rs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		p := conformance.RandomPacket(rng, rs)
+		if got, want := e.LookupNoEarlyTermination(p), e.Lookup(p); got != want {
+			t.Fatalf("ablation path diverged on %v: %d vs %d", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package core assembles the complete NuevoMatch classifier of the paper:
+// the rule-set is partitioned into iSets (§3.6) indexed by RQ-RMI models,
+// the remainder is indexed by an external classifier (§3.7), and lookups
+// combine model inference, bounded secondary search, multi-field validation,
+// and highest-priority selection (Figure 1), with the early-termination
+// optimization of §4 querying the remainder last under the best priority
+// found in the iSets.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"nuevomatch/internal/classifiers/tuplemerge"
+	"nuevomatch/internal/iset"
+	"nuevomatch/internal/rqrmi"
+	"nuevomatch/internal/rules"
+)
+
+// Options configures Build. The zero value reproduces the paper's default
+// evaluation setup against TupleMerge: up to 4 iSets, 5% minimum coverage,
+// RQ-RMI error threshold 64, TupleMerge remainder.
+type Options struct {
+	// MaxISets caps the number of RQ-RMI models. The paper finds 1–2 best
+	// with CutSplit/NeuroCuts remainders and 4 with TupleMerge (§5.3.2).
+	MaxISets int
+	// MinCoverage discards iSets below this fraction of the rule-set:
+	// 0.25 against cs/nc, 0.05 against tm in the paper's evaluation.
+	MinCoverage float64
+	// RQRMI is the per-iSet training configuration; zero fields default
+	// per rqrmi.DefaultConfig for the iSet's size. The Seed is offset per
+	// iSet to decorrelate models.
+	RQRMI rqrmi.Config
+	// Remainder builds the external classifier; nil means TupleMerge with
+	// the paper's settings.
+	Remainder rules.Builder
+	// ISetFields optionally restricts which fields may carry iSets.
+	ISetFields []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxISets == 0 {
+		o.MaxISets = 4
+	}
+	if o.MinCoverage == 0 {
+		o.MinCoverage = 0.05
+	}
+	if o.Remainder == nil {
+		o.Remainder = tuplemerge.Build
+	}
+	return o
+}
+
+// isetIndex is one trained iSet: an RQ-RMI over one field whose entry
+// payloads are positions into the engine's rule slice.
+type isetIndex struct {
+	field int
+	model *rqrmi.Model
+}
+
+// BuildStats reports what Build produced.
+type BuildStats struct {
+	// Coverage is the fraction of rules indexed by iSets.
+	Coverage float64
+	// ISetSizes lists the rule count of each trained iSet.
+	ISetSizes []int
+	// ISetFields lists the field each iSet indexes.
+	ISetFields []int
+	// RemainderSize is the number of rules left to the external classifier.
+	RemainderSize int
+	// TrainingTime is the total RQ-RMI training wall time.
+	TrainingTime time.Duration
+	// MaxSearchDistance is the largest guaranteed secondary search bound.
+	MaxSearchDistance int
+	// Train carries the per-iSet training statistics.
+	Train []rqrmi.TrainStats
+}
+
+// Engine is a built NuevoMatch classifier. Lookups are safe for concurrent
+// use; updates serialize internally (§3.9).
+type Engine struct {
+	opts Options
+
+	mu     sync.RWMutex
+	rs     *rules.RuleSet // snapshot; positions are stable
+	posID  map[int]int    // built rule ID -> position
+	prioID map[int]int32  // every live rule ID (built + inserted) -> priority
+	live   map[int]bool   // rule ID -> not deleted
+	isets  []isetIndex
+	inISet map[int]isetEntry // rule ID -> tombstone location
+
+	remainder      rules.Classifier
+	remainderRules *rules.RuleSet // current remainder content (for rebuild/stats)
+
+	stats  BuildStats
+	ustats UpdateStats
+}
+
+type isetEntry struct {
+	iset  int
+	entry int
+}
+
+var _ rules.BoundedClassifier = (*Engine)(nil)
+
+// Build trains a NuevoMatch engine over rs.
+func Build(rs *rules.RuleSet, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:   opts,
+		rs:     rs.Clone(),
+		posID:  rs.IndexByID(),
+		prioID: make(map[int]int32, rs.Len()),
+		live:   make(map[int]bool, rs.Len()),
+		inISet: make(map[int]isetEntry, rs.Len()),
+	}
+	for i := range e.rs.Rules {
+		e.live[e.rs.Rules[i].ID] = true
+		e.prioID[e.rs.Rules[i].ID] = e.rs.Rules[i].Priority
+	}
+
+	part := iset.Build(e.rs, iset.Options{
+		MaxISets:    opts.MaxISets,
+		MinCoverage: opts.MinCoverage,
+		Fields:      opts.ISetFields,
+	})
+
+	t0 := time.Now()
+	for i, is := range part.ISets {
+		entries := make([]rqrmi.Entry, len(is.Positions))
+		for j, pos := range is.Positions {
+			entries[j] = rqrmi.Entry{Range: e.rs.Rules[pos].Fields[is.Field], Value: pos}
+		}
+		cfg := opts.RQRMI
+		if cfg.Seed == 0 {
+			cfg.Seed = 42
+		}
+		cfg.Seed += int64(i) * 7919
+		model, ts, err := rqrmi.Train(entries, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: training iSet %d (field %d): %w", i, is.Field, err)
+		}
+		e.isets = append(e.isets, isetIndex{field: is.Field, model: model})
+		e.stats.Train = append(e.stats.Train, *ts)
+		e.stats.ISetSizes = append(e.stats.ISetSizes, len(is.Positions))
+		e.stats.ISetFields = append(e.stats.ISetFields, is.Field)
+		if ts.MaxError > e.stats.MaxSearchDistance {
+			e.stats.MaxSearchDistance = ts.MaxError
+		}
+		for j := range entries {
+			e.inISet[e.rs.Rules[entries[j].Value].ID] = isetEntry{iset: i, entry: j}
+		}
+	}
+	e.stats.TrainingTime = time.Since(t0)
+	e.stats.Coverage = part.Coverage()
+	e.stats.RemainderSize = len(part.Remainder)
+
+	e.remainderRules = e.rs.Subset(part.Remainder)
+	rem, err := opts.Remainder(e.remainderRules)
+	if err != nil {
+		return nil, fmt.Errorf("core: building remainder: %w", err)
+	}
+	e.remainder = rem
+	return e, nil
+}
+
+// Name implements rules.Classifier.
+func (e *Engine) Name() string { return "nuevomatch" }
+
+// Stats returns build statistics.
+func (e *Engine) Stats() BuildStats { return e.stats }
+
+// NumISets returns the number of trained RQ-RMI models.
+func (e *Engine) NumISets() int { return len(e.isets) }
+
+// Remainder exposes the external classifier (for tests and tooling).
+func (e *Engine) Remainder() rules.Classifier { return e.remainder }
+
+// Lookup implements rules.Classifier: query all RQ-RMIs, validate the (at
+// most one) candidate per iSet, then query the remainder under the best
+// priority found — the single-core early-termination flow of §4.
+func (e *Engine) Lookup(p rules.Packet) int {
+	return e.LookupWithBound(p, math.MaxInt32)
+}
+
+// LookupWithBound implements rules.BoundedClassifier.
+func (e *Engine) LookupWithBound(p rules.Packet, bestPrio int32) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	best := rules.NoMatch
+	for i := range e.isets {
+		is := &e.isets[i]
+		if id, prio, ok := e.isetCandidate(is, p); ok && prio < bestPrio {
+			best, bestPrio = id, prio
+		}
+	}
+	return e.queryRemainder(p, best, bestPrio)
+}
+
+// isetCandidate returns the validated candidate of one iSet: the RQ-RMI
+// yields at most one rule whose range contains the packet's field value;
+// the rule matches the packet only if all other fields validate (§3.6).
+func (e *Engine) isetCandidate(is *isetIndex, p rules.Packet) (id int, prio int32, ok bool) {
+	entry, found := is.model.LookupEntry(p[is.field])
+	if !found {
+		return 0, 0, false
+	}
+	pos := is.model.Entries()[entry].Value
+	if pos < 0 {
+		return 0, 0, false // tombstoned by Delete
+	}
+	r := &e.rs.Rules[pos]
+	if !r.Matches(p) {
+		return 0, 0, false
+	}
+	return r.ID, r.Priority, true
+}
+
+// queryRemainder folds the remainder's answer into the running best.
+func (e *Engine) queryRemainder(p rules.Packet, best int, bestPrio int32) int {
+	if bc, ok := e.remainder.(rules.BoundedClassifier); ok {
+		if id := bc.LookupWithBound(p, bestPrio); id >= 0 {
+			return id
+		}
+		return best
+	}
+	if id := e.remainder.Lookup(p); id >= 0 {
+		if prio, ok := e.prioID[id]; ok && prio < bestPrio {
+			return id
+		}
+	}
+	return best
+}
+
+// LookupNoEarlyTermination is the ablation of the §4 early-termination
+// optimization: the remainder is always queried in full, ignoring the best
+// priority found in the iSets. Results are identical to Lookup; only the
+// work differs. Exists for the ablation benchmarks.
+func (e *Engine) LookupNoEarlyTermination(p rules.Packet) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	best := rules.NoMatch
+	bestPrio := int32(math.MaxInt32)
+	for i := range e.isets {
+		if id, prio, ok := e.isetCandidate(&e.isets[i], p); ok && prio < bestPrio {
+			best, bestPrio = id, prio
+		}
+	}
+	if id := e.remainder.Lookup(p); id >= 0 {
+		if prio, ok := e.prioID[id]; ok && prio < bestPrio {
+			return id
+		}
+	}
+	return best
+}
+
+// LookupBatchParallel classifies a batch with the two-worker split of the
+// paper's multi-core configuration (§5.1): one worker runs all RQ-RMI iSets,
+// the other runs the remainder classifier, and results merge by priority.
+// Early termination does not apply — the workers race (§4 "Parallelization").
+// out must have len(pkts) entries.
+func (e *Engine) LookupBatchParallel(pkts []rules.Packet, out []int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	type cand struct {
+		id   int
+		prio int32
+	}
+	isetRes := make([]cand, len(pkts))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for pi, p := range pkts {
+			best, bestPrio := rules.NoMatch, int32(math.MaxInt32)
+			for i := range e.isets {
+				if id, prio, ok := e.isetCandidate(&e.isets[i], p); ok && prio < bestPrio {
+					best, bestPrio = id, prio
+				}
+			}
+			isetRes[pi] = cand{best, bestPrio}
+		}
+	}()
+	for pi, p := range pkts {
+		out[pi] = e.remainder.Lookup(p)
+	}
+	wg.Wait()
+	for pi := range pkts {
+		remID := out[pi]
+		ir := isetRes[pi]
+		switch {
+		case remID < 0:
+			out[pi] = ir.id
+		case ir.id < 0:
+			// keep remainder result
+		default:
+			if prio, ok := e.prioID[remID]; !ok || prio >= ir.prio {
+				out[pi] = ir.id
+			}
+		}
+	}
+}
+
+// MemoryFootprint implements rules.Classifier: RQ-RMI model bytes plus the
+// remainder's own index (§5.2.1 accounting).
+func (e *Engine) MemoryFootprint() int {
+	return e.RQRMIBytes() + e.remainder.MemoryFootprint()
+}
+
+// RQRMIBytes returns the total size of the trained models alone — the part
+// that must fit in L1/L2 for inference speed (Figure 13's "iSets" bars).
+func (e *Engine) RQRMIBytes() int {
+	b := 0
+	for i := range e.isets {
+		b += e.isets[i].model.MemoryFootprint()
+	}
+	return b
+}
+
+// RemainderBytes returns the external classifier's index size (Figure 13's
+// "Remainder" bars).
+func (e *Engine) RemainderBytes() int { return e.remainder.MemoryFootprint() }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"nuevomatch/internal/rules"
+)
+
+// Profile is the per-component runtime breakdown of Figure 14: RQ-RMI
+// inference, secondary search, multi-field validation, and the remainder
+// classifier, accumulated over a packet trace.
+type Profile struct {
+	Inference time.Duration
+	Search    time.Duration
+	Validate  time.Duration
+	Remainder time.Duration
+	Packets   int
+}
+
+// Total returns the summed component time.
+func (p Profile) Total() time.Duration {
+	return p.Inference + p.Search + p.Validate + p.Remainder
+}
+
+// PerPacket returns the per-packet duration of each component in the
+// Figure 14 order (remainder, search, validation, inference).
+func (p Profile) PerPacket() (remainder, search, validate, inference time.Duration) {
+	if p.Packets == 0 {
+		return
+	}
+	n := time.Duration(p.Packets)
+	return p.Remainder / n, p.Search / n, p.Validate / n, p.Inference / n
+}
+
+// ProfileTrace classifies every packet while timing each pipeline phase
+// separately. It is slower than Lookup (four clock reads per packet) and
+// exists for the Figure 14 experiment; results match Lookup exactly.
+func (e *Engine) ProfileTrace(pkts []rules.Packet) (Profile, []int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var prof Profile
+	out := make([]int, len(pkts))
+
+	type pred struct {
+		pred, err int
+	}
+	preds := make([]pred, len(e.isets))
+	entries := make([]int, len(e.isets))
+
+	for pi, p := range pkts {
+		best, bestPrio := rules.NoMatch, int32(math.MaxInt32)
+
+		t0 := time.Now()
+		for i := range e.isets {
+			is := &e.isets[i]
+			pr, errB := is.model.Predict(p[is.field])
+			preds[i] = pred{pr, errB}
+		}
+		t1 := time.Now()
+		for i := range e.isets {
+			is := &e.isets[i]
+			if idx, ok := is.model.Search(p[is.field], preds[i].pred, preds[i].err); ok {
+				entries[i] = idx
+			} else {
+				entries[i] = -1
+			}
+		}
+		t2 := time.Now()
+		for i := range e.isets {
+			if entries[i] < 0 {
+				continue
+			}
+			is := &e.isets[i]
+			pos := is.model.Entries()[entries[i]].Value
+			if pos < 0 {
+				continue
+			}
+			r := &e.rs.Rules[pos]
+			if r.Priority < bestPrio && r.Matches(p) {
+				best, bestPrio = r.ID, r.Priority
+			}
+		}
+		t3 := time.Now()
+		out[pi] = e.queryRemainder(p, best, bestPrio)
+		t4 := time.Now()
+
+		prof.Inference += t1.Sub(t0)
+		prof.Search += t2.Sub(t1)
+		prof.Validate += t3.Sub(t2)
+		prof.Remainder += t4.Sub(t3)
+	}
+	prof.Packets = len(pkts)
+	return prof, out
+}

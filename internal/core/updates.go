@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nuevomatch/internal/rules"
+)
+
+// This file implements the update model of §3.9:
+//
+//   - rule deletion and action changes are served in place (deletions
+//     tombstone the iSet value array; action changes are caller-side since
+//     the engine returns rule IDs);
+//   - rule additions and matching-set changes always go to the remainder,
+//     which must support fast updates (TupleMerge does);
+//   - the remainder therefore grows over time, degrading throughput, and
+//     Rebuild retrains the models over the current live rules — the paper's
+//     periodic retraining.
+
+// UpdateStats tracks the drift since the last (re)build.
+type UpdateStats struct {
+	// Inserted counts rules added to the remainder since build.
+	Inserted int
+	// DeletedFromISets counts tombstoned iSet entries.
+	DeletedFromISets int
+	// DeletedFromRemainder counts deletions served by the remainder.
+	DeletedFromRemainder int
+	// LiveRules is the current number of live rules.
+	LiveRules int
+	// RemainderFraction is the fraction of live rules not indexed by
+	// RQ-RMIs; the paper retrains when it grows too large.
+	RemainderFraction float64
+}
+
+// Updates returns the drift statistics since the last build.
+func (e *Engine) Updates() UpdateStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.updateStatsLocked()
+}
+
+func (e *Engine) updateStatsLocked() UpdateStats {
+	s := e.ustats
+	s.LiveRules = len(e.prioID)
+	covered := 0
+	for id := range e.inISet {
+		if e.live[id] {
+			covered++
+		}
+	}
+	if s.LiveRules > 0 {
+		s.RemainderFraction = 1 - float64(covered)/float64(s.LiveRules)
+	}
+	return s
+}
+
+// Insert adds a new rule. Per §3.9 additions always go to the remainder;
+// the remainder classifier must implement rules.Updatable.
+func (e *Engine) Insert(r rules.Rule) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(r.Fields) != e.rs.NumFields {
+		return fmt.Errorf("core: rule has %d fields, engine expects %d", len(r.Fields), e.rs.NumFields)
+	}
+	if _, dup := e.prioID[r.ID]; dup {
+		return fmt.Errorf("core: duplicate rule ID %d", r.ID)
+	}
+	upd, ok := e.remainder.(rules.Updatable)
+	if !ok {
+		return fmt.Errorf("core: remainder classifier %q does not support updates", e.remainder.Name())
+	}
+	if err := upd.Insert(r); err != nil {
+		return err
+	}
+	e.remainderRules.Add(r)
+	e.prioID[r.ID] = r.Priority
+	e.live[r.ID] = true
+	e.ustats.Inserted++
+	return nil
+}
+
+// Delete removes a rule by ID. Rules indexed by an RQ-RMI are tombstoned in
+// the model's value array — no retraining — and remainder rules are deleted
+// from the external classifier directly.
+func (e *Engine) Delete(id int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.live[id] {
+		return fmt.Errorf("core: no live rule with ID %d", id)
+	}
+	if loc, inModel := e.inISet[id]; inModel {
+		e.isets[loc.iset].model.SetValue(loc.entry, -1)
+		delete(e.inISet, id)
+		e.ustats.DeletedFromISets++
+	} else {
+		upd, ok := e.remainder.(rules.Updatable)
+		if !ok {
+			return fmt.Errorf("core: remainder classifier %q does not support updates", e.remainder.Name())
+		}
+		if err := upd.Delete(id); err != nil {
+			return err
+		}
+		e.removeRemainderRule(id)
+		e.ustats.DeletedFromRemainder++
+	}
+	delete(e.prioID, id)
+	delete(e.live, id)
+	return nil
+}
+
+// Modify changes a rule's matching set or priority: per §3.9 this is a
+// delete followed by an insert into the remainder.
+func (e *Engine) Modify(r rules.Rule) error {
+	if err := e.Delete(r.ID); err != nil {
+		return err
+	}
+	return e.Insert(r)
+}
+
+func (e *Engine) removeRemainderRule(id int) {
+	rr := e.remainderRules
+	for i := range rr.Rules {
+		if rr.Rules[i].ID == id {
+			rr.Rules = append(rr.Rules[:i], rr.Rules[i+1:]...)
+			return
+		}
+	}
+}
+
+// LiveRuleSet snapshots the current live rules (build survivors plus
+// inserts), the input Rebuild retrains on. The remainder's copy of a rule
+// is authoritative: a built rule that was modified (delete + reinsert,
+// §3.9) lives on in the remainder with its *new* matching set, and the
+// stale build-time copy must not resurface.
+func (e *Engine) LiveRuleSet() *rules.RuleSet {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := rules.NewRuleSet(e.rs.NumFields)
+	inRemainder := make(map[int]bool, e.remainderRules.Len())
+	for i := range e.remainderRules.Rules {
+		id := e.remainderRules.Rules[i].ID
+		inRemainder[id] = true
+		if e.live[id] {
+			r := e.remainderRules.Rules[i]
+			r.Fields = append([]rules.Range(nil), r.Fields...)
+			out.Add(r)
+		}
+	}
+	for i := range e.rs.Rules {
+		id := e.rs.Rules[i].ID
+		if e.live[id] && !inRemainder[id] {
+			r := e.rs.Rules[i]
+			r.Fields = append([]rules.Range(nil), r.Fields...)
+			out.Add(r)
+		}
+	}
+	return out
+}
+
+// Rebuild retrains the engine over the current live rules — the periodic
+// retraining of Figure 7 — and returns the fresh engine. The receiver
+// remains valid and serves lookups while the replacement trains.
+func (e *Engine) Rebuild() (*Engine, error) {
+	return Build(e.LiveRuleSet(), e.opts)
+}
+
+// SustainedUpdateModel evaluates the analytic update model of §3.9: after u
+// uniformly distributed updates against r rules, the expected fraction of
+// rules still served by the RQ-RMIs is e^(-u/r), and throughput behaves as a
+// weighted average between the accelerated and remainder-only rates.
+func SustainedUpdateModel(r, u float64, acceleratedThroughput, remainderThroughput float64) float64 {
+	if r <= 0 {
+		return remainderThroughput
+	}
+	unmodified := math.Exp(-u / r)
+	return unmodified*acceleratedThroughput + (1-unmodified)*remainderThroughput
+}

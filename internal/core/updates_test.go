@@ -1,0 +1,299 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nuevomatch/internal/classifiers/conformance"
+	"nuevomatch/internal/rules"
+)
+
+func TestDeleteFromISetTombstones(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rs := structuredRuleSet(rng, 200)
+	e, err := Build(rs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a rule indexed by an iSet and a packet that matches it.
+	var victim int = -1
+	var pkt rules.Packet
+	for id, loc := range e.inISet {
+		_ = loc
+		pos := e.posID[id]
+		r := &rs.Rules[pos]
+		p := make(rules.Packet, 5)
+		for d, f := range r.Fields {
+			p[d] = f.Lo
+		}
+		if rs.MatchID(p) == id {
+			victim, pkt = id, p
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no directly-hittable iSet rule in this draw")
+	}
+	if got := e.Lookup(pkt); got != victim {
+		t.Fatalf("pre-delete Lookup = %d, want %d", got, victim)
+	}
+	if err := e.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	// The victim no longer matches; result must equal the reference
+	// without the victim.
+	ref := rules.NewRuleSet(5)
+	for i := range rs.Rules {
+		if rs.Rules[i].ID != victim {
+			ref.Add(rs.Rules[i])
+		}
+	}
+	if got, want := e.Lookup(pkt), ref.MatchID(pkt); got != want {
+		t.Fatalf("post-delete Lookup = %d, want %d", got, want)
+	}
+	if e.Updates().DeletedFromISets != 1 {
+		t.Errorf("DeletedFromISets = %d, want 1", e.Updates().DeletedFromISets)
+	}
+	if err := e.Delete(victim); err == nil {
+		t.Error("double delete must fail")
+	}
+}
+
+func TestInsertGoesToRemainder(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rs := structuredRuleSet(rng, 150)
+	e, err := Build(rs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rules.Rule{
+		ID:       100000,
+		Priority: 0, // beats everything
+		Fields: []rules.Range{
+			rules.FullRange(), rules.FullRange(), rules.FullRange(),
+			rules.FullRange(), rules.FullRange(),
+		},
+	}
+	if err := e.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	p := conformance.RandomPacket(rng, rs)
+	if got := e.Lookup(p); got != 100000 {
+		t.Fatalf("Lookup after inserting top-priority wildcard = %d, want 100000", got)
+	}
+	if err := e.Insert(r); err == nil {
+		t.Error("duplicate insert must fail")
+	}
+	st := e.Updates()
+	if st.Inserted != 1 {
+		t.Errorf("Inserted = %d, want 1", st.Inserted)
+	}
+	if st.RemainderFraction <= 0 {
+		t.Errorf("RemainderFraction = %v, want > 0 after insert", st.RemainderFraction)
+	}
+}
+
+func TestModifyMovesRuleToRemainder(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rs := structuredRuleSet(rng, 150)
+	e, err := Build(rs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := rs.Rules[7]
+	mod := victim
+	mod.Fields = append([]rules.Range(nil), victim.Fields...)
+	mod.Fields[2] = rules.ExactRange(4242)
+	if err := e.Modify(mod); err != nil {
+		t.Fatal(err)
+	}
+	p := make(rules.Packet, 5)
+	for d, f := range mod.Fields {
+		p[d] = f.Lo
+	}
+	ref := rules.NewRuleSet(5)
+	for i := range rs.Rules {
+		if rs.Rules[i].ID == mod.ID {
+			ref.Add(mod)
+		} else {
+			ref.Add(rs.Rules[i])
+		}
+	}
+	if got, want := e.Lookup(p), ref.MatchID(p); got != want {
+		t.Fatalf("post-modify Lookup = %d, want %d", got, want)
+	}
+}
+
+func TestUpdateBurstAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	rs := structuredRuleSet(rng, 250)
+	e, err := Build(rs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make(map[int]rules.Rule, rs.Len())
+	for i := range rs.Rules {
+		live[rs.Rules[i].ID] = rs.Rules[i]
+	}
+	nextID := 10000
+	for step := 0; step < 300; step++ {
+		switch rng.Intn(3) {
+		case 0: // insert
+			f := make([]rules.Range, 5)
+			for d := range f {
+				lo := rng.Uint32()
+				f[d] = rules.Range{Lo: lo >> 1, Hi: lo>>1 + rng.Uint32()>>10}
+			}
+			r := rules.Rule{ID: nextID, Priority: int32(rng.Intn(1000)), Fields: f}
+			nextID++
+			if err := e.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+			live[r.ID] = r
+		case 1: // delete a random live rule
+			for id := range live {
+				if err := e.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, id)
+				break
+			}
+		default: // verify
+			ref := rules.NewRuleSet(5)
+			for _, r := range live {
+				ref.Add(r)
+			}
+			p := conformance.RandomPacket(rng, ref)
+			got, want := e.Lookup(p), ref.MatchID(p)
+			if got != want {
+				// Ties allowed: equal priority.
+				if got < 0 || want < 0 || live[got].Priority != live[want].Priority {
+					t.Fatalf("step %d: Lookup = %d, want %d", step, got, want)
+				}
+			}
+		}
+	}
+
+	// Rebuild and re-verify: the retrained engine serves the same set.
+	e2, err := e.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := rules.NewRuleSet(5)
+	for _, r := range live {
+		ref.Add(r)
+	}
+	for i := 0; i < 500; i++ {
+		p := conformance.RandomPacket(rng, ref)
+		got, want := e2.Lookup(p), ref.MatchID(p)
+		if got != want {
+			if got < 0 || want < 0 || live[got].Priority != live[want].Priority {
+				t.Fatalf("rebuilt: Lookup = %d, want %d", got, want)
+			}
+		}
+	}
+	if f := e2.Updates().RemainderFraction; f < 0 || f > 1 {
+		t.Errorf("rebuilt remainder fraction = %v", f)
+	}
+}
+
+func TestSustainedUpdateModel(t *testing.T) {
+	// No updates: full accelerated throughput.
+	if got := SustainedUpdateModel(500000, 0, 10, 4); got != 10 {
+		t.Errorf("u=0: %v, want 10", got)
+	}
+	// Infinite updates: converges to the remainder throughput.
+	if got := SustainedUpdateModel(500000, 1e12, 10, 4); math.Abs(got-4) > 1e-6 {
+		t.Errorf("u→∞: %v, want 4", got)
+	}
+	// Monotone decreasing in u.
+	prev := math.Inf(1)
+	for _, u := range []float64{0, 1000, 10000, 100000, 1e6} {
+		cur := SustainedUpdateModel(500000, u, 10, 4)
+		if cur > prev {
+			t.Errorf("model not monotone at u=%v", u)
+		}
+		prev = cur
+	}
+	// Degenerate rule count.
+	if got := SustainedUpdateModel(0, 10, 10, 4); got != 4 {
+		t.Errorf("r=0: %v, want 4", got)
+	}
+}
+
+func TestLiveRuleSetUsesModifiedFields(t *testing.T) {
+	// Regression: a built rule modified via §3.9 (delete + reinsert into
+	// the remainder) must appear in LiveRuleSet with its NEW matching set,
+	// or Rebuild resurrects the stale one.
+	rng := rand.New(rand.NewSource(16))
+	rs := structuredRuleSet(rng, 120)
+	e, err := Build(rs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := rs.Rules[11]
+	mod := victim
+	mod.Fields = append([]rules.Range(nil), victim.Fields...)
+	mod.Fields[3] = rules.ExactRange(31337)
+	if err := e.Modify(mod); err != nil {
+		t.Fatal(err)
+	}
+	live := e.LiveRuleSet()
+	if live.Len() != 120 {
+		t.Fatalf("live size = %d, want 120", live.Len())
+	}
+	found := false
+	for i := range live.Rules {
+		if live.Rules[i].ID == mod.ID {
+			found = true
+			if live.Rules[i].Fields[3] != rules.ExactRange(31337) {
+				t.Fatalf("LiveRuleSet kept stale fields: %v", live.Rules[i].Fields[3])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("modified rule missing from LiveRuleSet")
+	}
+	// The rebuilt engine must agree with the drifted one everywhere.
+	fresh, err := e.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		p := conformance.RandomPacket(rng, live)
+		if a, b := e.Lookup(p), fresh.Lookup(p); a != b {
+			t.Fatalf("drifted %d != rebuilt %d on %v", a, b, p)
+		}
+	}
+}
+
+func TestLiveRuleSetReflectsUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	rs := structuredRuleSet(rng, 100)
+	e, err := Build(rs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(rs.Rules[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	newRule := rules.Rule{ID: 555555, Priority: 1, Fields: make([]rules.Range, 5)}
+	for d := range newRule.Fields {
+		newRule.Fields[d] = rules.FullRange()
+	}
+	if err := e.Insert(newRule); err != nil {
+		t.Fatal(err)
+	}
+	lrs := e.LiveRuleSet()
+	if lrs.Len() != 100 { // -1 +1
+		t.Fatalf("LiveRuleSet size = %d, want 100", lrs.Len())
+	}
+	ids := lrs.IndexByID()
+	if _, has := ids[rs.Rules[0].ID]; has {
+		t.Error("deleted rule still in LiveRuleSet")
+	}
+	if _, has := ids[555555]; !has {
+		t.Error("inserted rule missing from LiveRuleSet")
+	}
+}

@@ -1,0 +1,174 @@
+// Package iset implements the independent-set partitioning of §3.6: the
+// rule-set is greedily split into iSets — groups of rules whose ranges do
+// not overlap in one chosen field — plus a remainder. Each iSet can then be
+// indexed by one RQ-RMI over that field; the remainder goes to an external
+// classifier.
+//
+// The largest iSet within one field is found with the classical interval
+// scheduling maximization algorithm (sort by upper bound, repeatedly pick
+// the range with the smallest upper bound that does not overlap the
+// previously selected one), which is optimal per field. The cross-field
+// greedy choice of §3.6.1 is the paper's heuristic and is not globally
+// optimal.
+package iset
+
+import (
+	"sort"
+
+	"nuevomatch/internal/rules"
+)
+
+// ISet is one independent set: rule positions (into the source rule-set)
+// whose ranges are pairwise disjoint in Field.
+type ISet struct {
+	// Field is the dimension on which the rules do not overlap.
+	Field int
+	// Positions are indexes into the source rule-set's Rules slice, sorted
+	// by the field's range start.
+	Positions []int
+	// Coverage is len(Positions) divided by the size of the original
+	// rule-set (the paper's coverage metric).
+	Coverage float64
+}
+
+// Partition is the outcome of the greedy decomposition.
+type Partition struct {
+	// ISets are ordered largest-first.
+	ISets []ISet
+	// Remainder holds the positions of rules not covered by any iSet.
+	Remainder []int
+}
+
+// Coverage returns the fraction of rules covered by the iSets.
+func (p *Partition) Coverage() float64 {
+	if len(p.ISets) == 0 {
+		return 0
+	}
+	c := 0.0
+	for i := range p.ISets {
+		c += p.ISets[i].Coverage
+	}
+	return c
+}
+
+// Options tunes Build. The zero value builds iSets until the rules are
+// exhausted, discarding nothing.
+type Options struct {
+	// MaxISets bounds the number of iSets; 0 means unlimited. The paper
+	// finds 1–2 iSets best with CutSplit/NeuroCuts remainders and 4 with
+	// TupleMerge (§5.3.2).
+	MaxISets int
+	// MinCoverage discards candidate iSets covering less than this
+	// fraction of the original rule-set; their rules join the remainder.
+	// The paper uses 0.25 against CutSplit/NeuroCuts and 0.05 against
+	// TupleMerge (§5.1).
+	MinCoverage float64
+	// Fields restricts partitioning to the given dimensions; nil means all.
+	Fields []int
+}
+
+// Build runs the greedy iSet construction of §3.6.1 over the rule-set.
+func Build(rs *rules.RuleSet, opt Options) *Partition {
+	fields := opt.Fields
+	if fields == nil {
+		fields = make([]int, rs.NumFields)
+		for d := range fields {
+			fields[d] = d
+		}
+	}
+	remaining := make([]int, rs.Len())
+	for i := range remaining {
+		remaining[i] = i
+	}
+	orig := float64(rs.Len())
+	p := &Partition{}
+
+	for len(remaining) > 0 {
+		if opt.MaxISets > 0 && len(p.ISets) >= opt.MaxISets {
+			break
+		}
+		bestField := -1
+		var best []int
+		for _, d := range fields {
+			cand := largestIndependent(rs, remaining, d)
+			if len(cand) > len(best) {
+				best, bestField = cand, d
+			}
+		}
+		if len(best) == 0 {
+			break
+		}
+		cov := float64(len(best)) / orig
+		if cov < opt.MinCoverage {
+			break // smaller iSets would follow; merge the rest (§3.7)
+		}
+		p.ISets = append(p.ISets, ISet{Field: bestField, Positions: best, Coverage: cov})
+		remaining = subtract(remaining, best)
+	}
+	p.Remainder = remaining
+	return p
+}
+
+// largestIndependent returns the positions (subset of candidates) forming
+// the largest set of ranges in field d that are pairwise non-overlapping,
+// via interval scheduling maximization, sorted by range start.
+func largestIndependent(rs *rules.RuleSet, candidates []int, d int) []int {
+	if len(candidates) == 0 {
+		return nil
+	}
+	byHi := append([]int(nil), candidates...)
+	sort.Slice(byHi, func(i, j int) bool {
+		a := rs.Rules[byHi[i]].Fields[d]
+		b := rs.Rules[byHi[j]].Fields[d]
+		if a.Hi != b.Hi {
+			return a.Hi < b.Hi
+		}
+		if a.Lo != b.Lo {
+			return a.Lo > b.Lo // narrower first: frees more room, same end
+		}
+		return byHi[i] < byHi[j]
+	})
+	out := make([]int, 0, len(byHi))
+	haveLast := false
+	var lastHi uint32
+	for _, pos := range byHi {
+		f := rs.Rules[pos].Fields[d]
+		if !haveLast || f.Lo > lastHi {
+			out = append(out, pos)
+			lastHi = f.Hi
+			haveLast = true
+		}
+	}
+	// Already ordered by Hi and non-overlapping, hence ordered by Lo too.
+	return out
+}
+
+// subtract removes the sorted-set b from a (both hold unique positions).
+func subtract(a, b []int) []int {
+	drop := make(map[int]struct{}, len(b))
+	for _, x := range b {
+		drop[x] = struct{}{}
+	}
+	out := a[:0]
+	for _, x := range a {
+		if _, gone := drop[x]; !gone {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// CumulativeCoverage reproduces one row of Table 2: the coverage achieved by
+// the first k iSets for k = 1..maxISets, with no discarding.
+func CumulativeCoverage(rs *rules.RuleSet, maxISets int) []float64 {
+	p := Build(rs, Options{MaxISets: maxISets})
+	out := make([]float64, maxISets)
+	c := 0.0
+	for k := 0; k < maxISets; k++ {
+		if k < len(p.ISets) {
+			c += p.ISets[k].Coverage
+		}
+		out[k] = c
+	}
+	return out
+}

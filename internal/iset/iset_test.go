@@ -1,0 +1,247 @@
+package iset
+
+import (
+	"math/rand"
+	"testing"
+
+	"nuevomatch/internal/rules"
+)
+
+func fig2RuleSet(t *testing.T) *rules.RuleSet {
+	t.Helper()
+	ip := func(s string) uint32 {
+		v, err := rules.ParseIPv4(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	rs := rules.NewRuleSet(2)
+	rs.AddAuto(rules.PrefixRange(ip("10.10.0.0"), 16), rules.Range{Lo: 10, Hi: 18}) // R0
+	rs.AddAuto(rules.PrefixRange(ip("10.10.1.0"), 24), rules.Range{Lo: 15, Hi: 25}) // R1
+	rs.AddAuto(rules.PrefixRange(ip("10.0.0.0"), 8), rules.Range{Lo: 5, Hi: 8})     // R2
+	rs.AddAuto(rules.PrefixRange(ip("10.10.3.0"), 24), rules.Range{Lo: 7, Hi: 20})  // R3
+	rs.AddAuto(rules.ExactRange(ip("10.10.3.100")), rules.ExactRange(19))           // R4
+	return rs
+}
+
+func positionsSet(ps []int) map[int]bool {
+	m := make(map[int]bool, len(ps))
+	for _, p := range ps {
+		m[p] = true
+	}
+	return m
+}
+
+// TestFigure6 reproduces the paper's Figure 6: the five rules of Figure 2
+// split into two iSets covering everything, leaving an empty remainder.
+func TestFigure6(t *testing.T) {
+	rs := fig2RuleSet(t)
+	p := Build(rs, Options{})
+	if len(p.ISets) != 2 {
+		t.Fatalf("got %d iSets, want 2 (Figure 6)", len(p.ISets))
+	}
+	if len(p.Remainder) != 0 {
+		t.Fatalf("remainder = %v, want empty", p.Remainder)
+	}
+	// Figure 6: {R0, R2, R4} by port and {R1, R3} by IP. Our greedy must
+	// find a size-3 first iSet and a size-2 second one.
+	if len(p.ISets[0].Positions) != 3 || len(p.ISets[1].Positions) != 2 {
+		t.Fatalf("iSet sizes = %d, %d; want 3, 2", len(p.ISets[0].Positions), len(p.ISets[1].Positions))
+	}
+	if got := p.Coverage(); got != 1.0 {
+		t.Errorf("coverage = %v, want 1", got)
+	}
+}
+
+// TestISetsAreIndependent checks the defining invariant: within an iSet no
+// two rules overlap in the iSet's field.
+func TestISetsAreIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		rs := rules.NewRuleSet(2)
+		n := 5 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			lo0 := rng.Uint32() % 1000
+			lo1 := rng.Uint32() % 1000
+			rs.AddAuto(
+				rules.Range{Lo: lo0, Hi: lo0 + rng.Uint32()%200},
+				rules.Range{Lo: lo1, Hi: lo1 + rng.Uint32()%200},
+			)
+		}
+		p := Build(rs, Options{})
+		seen := make(map[int]bool)
+		for _, is := range p.ISets {
+			for i, a := range is.Positions {
+				if seen[a] {
+					t.Fatalf("trial %d: rule %d in two partitions", trial, a)
+				}
+				seen[a] = true
+				for _, b := range is.Positions[i+1:] {
+					if rs.Rules[a].Fields[is.Field].Overlaps(rs.Rules[b].Fields[is.Field]) {
+						t.Fatalf("trial %d: rules %d,%d overlap in field %d", trial, a, b, is.Field)
+					}
+				}
+			}
+		}
+		for _, r := range p.Remainder {
+			if seen[r] {
+				t.Fatalf("trial %d: rule %d in both iSet and remainder", trial, r)
+			}
+			seen[r] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("trial %d: partition covers %d of %d rules", trial, len(seen), n)
+		}
+	}
+}
+
+// TestLargestIndependentIsOptimal compares the interval scheduling result
+// against brute force over all subsets for small inputs.
+func TestLargestIndependentIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		rs := rules.NewRuleSet(1)
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			lo := rng.Uint32() % 60
+			rs.AddAuto(rules.Range{Lo: lo, Hi: lo + rng.Uint32()%20})
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		got := largestIndependent(rs, all, 0)
+
+		best := 0
+		for mask := 0; mask < 1<<n; mask++ {
+			ok := true
+			var members []int
+			for i := 0; i < n && ok; i++ {
+				if mask&(1<<i) == 0 {
+					continue
+				}
+				for _, j := range members {
+					if rs.Rules[i].Fields[0].Overlaps(rs.Rules[j].Fields[0]) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					members = append(members, i)
+				}
+			}
+			if ok && len(members) > best {
+				best = len(members)
+			}
+		}
+		if len(got) != best {
+			t.Fatalf("trial %d: greedy = %d, optimum = %d (rules %v)", trial, len(got), best, rs.Rules)
+		}
+		// Verify independence and sortedness of the result.
+		for i := 1; i < len(got); i++ {
+			prev := rs.Rules[got[i-1]].Fields[0]
+			cur := rs.Rules[got[i]].Fields[0]
+			if prev.Overlaps(cur) {
+				t.Fatalf("trial %d: result not independent", trial)
+			}
+			if cur.Lo <= prev.Lo {
+				t.Fatalf("trial %d: result not sorted by Lo", trial)
+			}
+		}
+	}
+}
+
+func TestMaxISetsLimit(t *testing.T) {
+	rs := rules.NewRuleSet(1)
+	// All rules overlap pairwise: every iSet has exactly one rule.
+	for i := 0; i < 6; i++ {
+		rs.AddAuto(rules.Range{Lo: 0, Hi: 100})
+	}
+	p := Build(rs, Options{MaxISets: 2})
+	if len(p.ISets) != 2 {
+		t.Fatalf("got %d iSets, want 2", len(p.ISets))
+	}
+	if len(p.Remainder) != 4 {
+		t.Fatalf("remainder size = %d, want 4", len(p.Remainder))
+	}
+}
+
+func TestMinCoverageDiscardsSmallISets(t *testing.T) {
+	rs := rules.NewRuleSet(1)
+	// 8 disjoint rules (one big iSet) + 4 duplicates of one value that can
+	// only be covered one-per-iSet.
+	for i := 0; i < 8; i++ {
+		rs.AddAuto(rules.ExactRange(uint32(1000 + i*10)))
+	}
+	for i := 0; i < 4; i++ {
+		rs.AddAuto(rules.ExactRange(7))
+	}
+	p := Build(rs, Options{MinCoverage: 0.25})
+	if len(p.ISets) != 1 {
+		t.Fatalf("got %d iSets, want 1 (singleton iSets fall below 25%%)", len(p.ISets))
+	}
+	// The first iSet grabs the 8 disjoint plus one of the duplicates.
+	if len(p.ISets[0].Positions) != 9 {
+		t.Errorf("first iSet size = %d, want 9", len(p.ISets[0].Positions))
+	}
+	if len(p.Remainder) != 3 {
+		t.Errorf("remainder = %d rules, want 3", len(p.Remainder))
+	}
+}
+
+func TestFieldsRestriction(t *testing.T) {
+	rs := fig2RuleSet(t)
+	p := Build(rs, Options{Fields: []int{0}})
+	for _, is := range p.ISets {
+		if is.Field != 0 {
+			t.Fatalf("iSet built on field %d despite restriction", is.Field)
+		}
+	}
+}
+
+func TestEmptyRuleSet(t *testing.T) {
+	rs := rules.NewRuleSet(2)
+	p := Build(rs, Options{})
+	if len(p.ISets) != 0 || len(p.Remainder) != 0 {
+		t.Error("empty input must produce empty partition")
+	}
+	if p.Coverage() != 0 {
+		t.Error("coverage of empty partition must be 0")
+	}
+}
+
+func TestCumulativeCoverage(t *testing.T) {
+	rs := fig2RuleSet(t)
+	cov := CumulativeCoverage(rs, 4)
+	if len(cov) != 4 {
+		t.Fatalf("len = %d, want 4", len(cov))
+	}
+	if cov[0] != 0.6 {
+		t.Errorf("coverage with 1 iSet = %v, want 0.6", cov[0])
+	}
+	if cov[1] != 1.0 || cov[3] != 1.0 {
+		t.Errorf("cumulative coverage = %v, want saturation at 1.0", cov)
+	}
+	for i := 1; i < len(cov); i++ {
+		if cov[i] < cov[i-1] {
+			t.Fatal("cumulative coverage must be nondecreasing")
+		}
+	}
+}
+
+// TestHighDiversityOneISet: rules with unique exact values in a field fit in
+// a single iSet (diversity 1 → full coverage, §3.7).
+func TestHighDiversityOneISet(t *testing.T) {
+	rs := rules.NewRuleSet(2)
+	for i := 0; i < 100; i++ {
+		rs.AddAuto(rules.ExactRange(uint32(i)), rules.FullRange())
+	}
+	p := Build(rs, Options{})
+	if len(p.ISets) != 1 || len(p.ISets[0].Positions) != 100 {
+		t.Fatalf("want a single full-coverage iSet, got %d iSets", len(p.ISets))
+	}
+	if p.ISets[0].Field != 0 {
+		t.Errorf("iSet field = %d, want 0", p.ISets[0].Field)
+	}
+}

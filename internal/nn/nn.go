@@ -1,0 +1,233 @@
+// Package nn implements the minimal neural-network machinery RQ-RMI needs: a
+// fully-connected 3-layer perceptron with one scalar input, one scalar
+// output, a single ReLU hidden layer (Definition 3.1 of the paper), and the
+// Adam optimizer (§3.5.5) minimizing mean squared error.
+//
+// The paper trains submodels with TensorFlow; this package replaces it with
+// a dependency-free implementation. The RQ-RMI correctness machinery only
+// requires that the trained network be piecewise linear in its input, which
+// holds for this architecture no matter how it is trained.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is the 3-layer network N(x) = ReLU(x·w1 + b1) × w2 + b2 of
+// Definition 3.1: w1, b1 are the hidden layer's weight and bias vectors, w2
+// is the output weight vector and b2 the output bias. The zero value is not
+// usable; construct with New.
+type MLP struct {
+	W1, B1 []float64
+	W2     []float64
+	B2     float64
+}
+
+// New returns an MLP with h hidden units initialized close to the identity
+// function on [0, 1]: the hidden kinks are spread uniformly over the domain
+// and the output initially equals ReLU(x). This is a strong prior for the
+// near-monotone key→index mappings RQ-RMI learns and makes Adam converge in
+// a few hundred epochs. rng injects determinism; it must not be nil.
+func New(h int, rng *rand.Rand) *MLP {
+	if h < 1 {
+		panic(fmt.Sprintf("nn: hidden size %d < 1", h))
+	}
+	m := &MLP{
+		W1: make([]float64, h),
+		B1: make([]float64, h),
+		W2: make([]float64, h),
+	}
+	for k := 0; k < h; k++ {
+		m.W1[k] = 1 + 0.01*rng.NormFloat64()
+		m.B1[k] = -float64(k)/float64(h) + 0.01*rng.NormFloat64()
+		m.W2[k] = 0.01 * rng.NormFloat64()
+	}
+	m.W2[0] = 1
+	return m
+}
+
+// Hidden returns the number of hidden units.
+func (m *MLP) Hidden() int { return len(m.W1) }
+
+// Eval computes N(x).
+func (m *MLP) Eval(x float64) float64 {
+	y := m.B2
+	for k, w := range m.W1 {
+		z := x*w + m.B1[k]
+		if z > 0 {
+			y += m.W2[k] * z
+		}
+	}
+	return y
+}
+
+// NumParams returns the number of scalar parameters (3h + 1).
+func (m *MLP) NumParams() int { return 3*len(m.W1) + 1 }
+
+// Clone returns a deep copy.
+func (m *MLP) Clone() *MLP {
+	return &MLP{
+		W1: append([]float64(nil), m.W1...),
+		B1: append([]float64(nil), m.B1...),
+		W2: append([]float64(nil), m.W2...),
+		B2: m.B2,
+	}
+}
+
+// TrainConfig controls Train. The zero value is replaced by DefaultTrain.
+type TrainConfig struct {
+	Epochs int     // full-batch gradient steps
+	LR     float64 // Adam step size
+	Beta1  float64 // Adam first-moment decay
+	Beta2  float64 // Adam second-moment decay
+	Eps    float64 // Adam denominator epsilon
+	// Patience stops training early when the loss has not improved by
+	// more than Tol for Patience consecutive epochs. 0 disables.
+	Patience int
+	Tol      float64
+}
+
+// DefaultTrain is tuned for the ≤ few-thousand-sample datasets RQ-RMI
+// submodels train on.
+var DefaultTrain = TrainConfig{
+	Epochs:   400,
+	LR:       0.03,
+	Beta1:    0.9,
+	Beta2:    0.999,
+	Eps:      1e-8,
+	Patience: 150,
+	Tol:      1e-10,
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	d := DefaultTrain
+	if c.Epochs > 0 {
+		d.Epochs = c.Epochs
+	}
+	if c.LR > 0 {
+		d.LR = c.LR
+	}
+	if c.Beta1 > 0 {
+		d.Beta1 = c.Beta1
+	}
+	if c.Beta2 > 0 {
+		d.Beta2 = c.Beta2
+	}
+	if c.Eps > 0 {
+		d.Eps = c.Eps
+	}
+	if c.Patience > 0 {
+		d.Patience = c.Patience
+	}
+	if c.Tol > 0 {
+		d.Tol = c.Tol
+	}
+	return d
+}
+
+// Train fits the network to the dataset (xs[i], ys[i]) by full-batch Adam on
+// the mean-squared-error loss (§3.5.5) and returns the final loss. Training
+// on an empty dataset is a no-op returning 0. len(xs) must equal len(ys).
+func Train(m *MLP, xs, ys []float64, cfg TrainConfig) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("nn: len(xs)=%d != len(ys)=%d", len(xs), len(ys)))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	c := cfg.withDefaults()
+	h := len(m.W1)
+	n := float64(len(xs))
+
+	// Adam state: one slot per parameter, laid out [w1 | b1 | w2 | b2].
+	np := 3*h + 1
+	mom := make([]float64, np)
+	vel := make([]float64, np)
+	grad := make([]float64, np)
+	z := make([]float64, h) // hidden pre-activations for the current sample
+
+	best := math.Inf(1)
+	stale := 0
+	loss := 0.0
+	for epoch := 1; epoch <= c.Epochs; epoch++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		loss = 0
+		for i, x := range xs {
+			pred := m.B2
+			for k := 0; k < h; k++ {
+				z[k] = x*m.W1[k] + m.B1[k]
+				if z[k] > 0 {
+					pred += m.W2[k] * z[k]
+				}
+			}
+			diff := pred - ys[i]
+			loss += diff * diff
+			g := 2 * diff / n
+			for k := 0; k < h; k++ {
+				if z[k] > 0 {
+					gw2 := g * z[k]
+					gz := g * m.W2[k]
+					grad[2*h+k] += gw2 // w2
+					grad[k] += gz * x  // w1
+					grad[h+k] += gz    // b1
+				}
+			}
+			grad[3*h] += g // b2
+		}
+		loss /= n
+
+		// Adam update with bias correction. The step size decays linearly
+		// to 10% of LR over the run, which settles the oscillation Adam
+		// exhibits near a minimum and tightens the final fit — important
+		// because the submodel's worst-case error drives the secondary
+		// search distance.
+		t := float64(epoch)
+		c1 := 1 - math.Pow(c.Beta1, t)
+		c2 := 1 - math.Pow(c.Beta2, t)
+		lr := c.LR * (1 - 0.9*t/float64(c.Epochs))
+		for i := 0; i < np; i++ {
+			mom[i] = c.Beta1*mom[i] + (1-c.Beta1)*grad[i]
+			vel[i] = c.Beta2*vel[i] + (1-c.Beta2)*grad[i]*grad[i]
+			step := lr * (mom[i] / c1) / (math.Sqrt(vel[i]/c2) + c.Eps)
+			switch {
+			case i < h:
+				m.W1[i] -= step
+			case i < 2*h:
+				m.B1[i-h] -= step
+			case i < 3*h:
+				m.W2[i-2*h] -= step
+			default:
+				m.B2 -= step
+			}
+		}
+
+		if c.Patience > 0 {
+			if loss < best-c.Tol {
+				best = loss
+				stale = 0
+			} else {
+				stale++
+				if stale >= c.Patience {
+					break
+				}
+			}
+		}
+	}
+	return loss
+}
+
+// MaxAbsError returns max_i |N(xs[i]) - ys[i]|, a convenience for tests and
+// training diagnostics.
+func MaxAbsError(m *MLP, xs, ys []float64) float64 {
+	worst := 0.0
+	for i, x := range xs {
+		if d := math.Abs(m.Eval(x) - ys[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewNearIdentity(t *testing.T) {
+	m := New(8, rand.New(rand.NewSource(1)))
+	for _, x := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1} {
+		if d := math.Abs(m.Eval(x) - x); d > 0.05 {
+			t.Errorf("init Eval(%v) = %v, want ≈ x (|Δ| = %v)", x, m.Eval(x), d)
+		}
+	}
+	if m.Hidden() != 8 {
+		t.Errorf("Hidden() = %d, want 8", m.Hidden())
+	}
+	if m.NumParams() != 25 {
+		t.Errorf("NumParams() = %d, want 25 (3·8+1)", m.NumParams())
+	}
+}
+
+func TestNewPanicsOnBadHidden(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0, rand.New(rand.NewSource(1)))
+}
+
+func TestTrainLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := New(8, rng)
+	xs := make([]float64, 128)
+	ys := make([]float64, 128)
+	for i := range xs {
+		xs[i] = float64(i) / 127
+		ys[i] = 0.3 + 0.4*xs[i]
+	}
+	loss := Train(m, xs, ys, TrainConfig{Epochs: 800})
+	if loss > 1e-4 {
+		t.Errorf("loss after training linear target = %v, want < 1e-4", loss)
+	}
+	if e := MaxAbsError(m, xs, ys); e > 0.02 {
+		t.Errorf("max abs error = %v, want < 0.02", e)
+	}
+}
+
+func TestTrainStepFunction(t *testing.T) {
+	// CDF-like staircase: the shape leaf submodels actually learn.
+	rng := rand.New(rand.NewSource(3))
+	m := New(8, rng)
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i) / 199
+		y := math.Floor(x*4) / 4
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	loss := Train(m, xs, ys, TrainConfig{Epochs: 1500, LR: 0.05})
+	if loss > 0.01 {
+		t.Errorf("loss after training staircase = %v, want < 0.01", loss)
+	}
+}
+
+func TestTrainEmptyDataset(t *testing.T) {
+	m := New(4, rand.New(rand.NewSource(4)))
+	before := m.Clone()
+	if loss := Train(m, nil, nil, TrainConfig{}); loss != 0 {
+		t.Errorf("loss on empty dataset = %v, want 0", loss)
+	}
+	for k := range m.W1 {
+		if m.W1[k] != before.W1[k] {
+			t.Error("training on empty dataset must not change weights")
+		}
+	}
+}
+
+func TestTrainMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Train with mismatched lengths should panic")
+		}
+	}()
+	m := New(4, rand.New(rand.NewSource(5)))
+	Train(m, []float64{1, 2}, []float64{1}, TrainConfig{})
+}
+
+func TestTrainIsDeterministic(t *testing.T) {
+	build := func() *MLP {
+		rng := rand.New(rand.NewSource(7))
+		m := New(8, rng)
+		xs := make([]float64, 64)
+		ys := make([]float64, 64)
+		for i := range xs {
+			xs[i] = float64(i) / 63
+			ys[i] = xs[i] * xs[i]
+		}
+		Train(m, xs, ys, TrainConfig{Epochs: 100})
+		return m
+	}
+	a, b := build(), build()
+	for k := range a.W1 {
+		if a.W1[k] != b.W1[k] || a.B1[k] != b.B1[k] || a.W2[k] != b.W2[k] {
+			t.Fatal("training must be deterministic for a fixed seed")
+		}
+	}
+	if a.B2 != b.B2 {
+		t.Fatal("training must be deterministic for a fixed seed")
+	}
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := New(8, rng)
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i) / 99
+		ys[i] = 0.9 - 0.8*xs[i] // decreasing: far from the identity init
+	}
+	initial := 0.0
+	for i := range xs {
+		d := m.Eval(xs[i]) - ys[i]
+		initial += d * d
+	}
+	initial /= float64(len(xs))
+	final := Train(m, xs, ys, TrainConfig{Epochs: 500})
+	if final >= initial {
+		t.Errorf("training did not reduce loss: %v -> %v", initial, final)
+	}
+	if final > 0.01 {
+		t.Errorf("final loss %v too large for a linear target", final)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New(4, rand.New(rand.NewSource(9)))
+	c := m.Clone()
+	c.W1[0] = 1234
+	c.B2 = -1
+	if m.W1[0] == 1234 || m.B2 == -1 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestEvalPiecewiseLinear(t *testing.T) {
+	// Between two adjacent ReLU kinks Eval must be exactly linear; verify by
+	// second differences over a fine grid away from kinks.
+	m := New(8, rand.New(rand.NewSource(10)))
+	xs := make([]float64, 64)
+	ys := make([]float64, 64)
+	for i := range xs {
+		xs[i] = float64(i) / 63
+		ys[i] = math.Sin(xs[i]*3) * 0.3
+	}
+	Train(m, xs, ys, TrainConfig{Epochs: 300})
+
+	kinks := make([]float64, 0, 8)
+	for k := range m.W1 {
+		if m.W1[k] != 0 {
+			kinks = append(kinks, -m.B1[k]/m.W1[k])
+		}
+	}
+	isNearKink := func(x float64) bool {
+		for _, g := range kinks {
+			if math.Abs(x-g) < 1e-3 {
+				return true
+			}
+		}
+		return false
+	}
+	const step = 1e-4
+	for x := 0.0; x < 1-2*step; x += step {
+		if isNearKink(x) || isNearKink(x+step) || isNearKink(x+2*step) {
+			continue
+		}
+		d2 := m.Eval(x) - 2*m.Eval(x+step) + m.Eval(x+2*step)
+		if math.Abs(d2) > 1e-9 {
+			t.Fatalf("second difference %v at x=%v: Eval is not piecewise linear", d2, x)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package rqrmi
+
+import (
+	"math/rand"
+	"testing"
+
+	"nuevomatch/internal/nn"
+)
+
+// randomSubmodel builds a submodel with randomized weights normalized over
+// [lo, hi] in key space, mimicking an arbitrarily (mis)trained network.
+func randomSubmodel(rng *rand.Rand, lo, hi uint64) submodel {
+	net := nn.New(8, rng)
+	for k := range net.W1 {
+		net.W1[k] += rng.NormFloat64() * 2
+		net.B1[k] += rng.NormFloat64()
+		net.W2[k] += rng.NormFloat64()
+	}
+	net.B2 += rng.NormFloat64() * 0.3
+	inLo := float64(lo) * scale
+	inSpan := (float64(hi) - float64(lo)) * scale
+	if inSpan <= 0 {
+		inSpan = scale
+	}
+	return submodel{w1: net.W1, b1: net.B1, w2: net.W2, b2: net.B2, inLo: inLo, inSpan: inSpan}
+}
+
+// TestPartitionMatchesBruteForce is the keystone property test: partition's
+// segments must be exactly the maximal constant-bucket runs found by
+// enumerating every key.
+func TestPartitionMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		lo := uint64(rng.Intn(1000))
+		hi := lo + uint64(rng.Intn(30000)) + 1
+		w := 1 + rng.Intn(64)
+		s := randomSubmodel(rng, lo, hi)
+
+		starts := s.partition(lo, hi, w)
+		if len(starts) == 0 || starts[0] != lo {
+			t.Fatalf("trial %d: partition must start at lo: %v", trial, starts)
+		}
+		// Brute force: walk every key and record bucket flips.
+		var want []uint64
+		prev := -1
+		for k := lo; k <= hi; k++ {
+			b := s.bucket(k, w)
+			if b != prev {
+				want = append(want, k)
+				prev = b
+			}
+		}
+		// Every brute-force flip must be a partition start (partition may
+		// contain extra starts at kink keys, which is harmless), and every
+		// partition segment must be constant.
+		si := make(map[uint64]bool, len(starts))
+		for _, k := range starts {
+			si[k] = true
+		}
+		for _, k := range want {
+			if !si[k] {
+				t.Fatalf("trial %d (w=%d): brute-force flip at key %d missing from partition %v", trial, w, k, starts)
+			}
+		}
+		for i, start := range starts {
+			end := hi
+			if i+1 < len(starts) {
+				end = starts[i+1] - 1
+			}
+			b0 := s.bucket(start, w)
+			for k := start; k <= end; k++ {
+				if s.bucket(k, w) != b0 {
+					t.Fatalf("trial %d: segment [%d,%d] not constant at key %d", trial, start, end, k)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionSingleton(t *testing.T) {
+	s := randomSubmodel(rand.New(rand.NewSource(1)), 5, 5)
+	starts := s.partition(5, 5, 10)
+	if len(starts) != 1 || starts[0] != 5 {
+		t.Errorf("partition of a singleton = %v, want [5]", starts)
+	}
+}
+
+// TestPropagateCoversDomain verifies that responsibilities of the next stage
+// are disjoint and cover every key (Definition A.3: responsibilities of
+// submodels in the same stage are disjoint).
+func TestPropagateCoversDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		lo := uint64(0)
+		hi := uint64(20000 + rng.Intn(20000))
+		w := 2 + rng.Intn(14)
+		s := randomSubmodel(rng, lo, hi)
+
+		into := newRespSet(w)
+		s.propagate([]kinterval{{lo, hi}}, w, into)
+
+		// Rebuild a key->bucket map from the responsibilities.
+		covered := make(map[uint64]int)
+		for b, ivs := range into.ivs {
+			for _, iv := range ivs {
+				for k := iv.lo; k <= iv.hi; k++ {
+					if prev, dup := covered[k]; dup {
+						t.Fatalf("trial %d: key %d assigned to buckets %d and %d", trial, k, prev, b)
+					}
+					covered[k] = b
+				}
+			}
+		}
+		for k := lo; k <= hi; k++ {
+			b, ok := covered[k]
+			if !ok {
+				t.Fatalf("trial %d: key %d not covered by any responsibility", trial, k)
+			}
+			if want := s.bucket(k, w); b != want {
+				t.Fatalf("trial %d: key %d in responsibility %d but routes to %d", trial, k, b, want)
+			}
+		}
+	}
+}
+
+func TestRespSetMerging(t *testing.T) {
+	rs := newRespSet(2)
+	rs.add(0, 0, 10)
+	rs.add(0, 11, 20) // contiguous: must merge
+	rs.add(0, 30, 40) // gap: stays separate
+	rs.add(1, 5, 5)
+	if len(rs.ivs[0]) != 2 || rs.ivs[0][0] != (kinterval{0, 20}) || rs.ivs[0][1] != (kinterval{30, 40}) {
+		t.Errorf("bucket 0 intervals = %v", rs.ivs[0])
+	}
+	if len(rs.ivs[1]) != 1 || rs.ivs[1][0] != (kinterval{5, 5}) {
+		t.Errorf("bucket 1 intervals = %v", rs.ivs[1])
+	}
+}
+
+func TestTotalKeysAndHull(t *testing.T) {
+	resp := []kinterval{{0, 9}, {20, 20}, {30, 39}}
+	if got := totalKeys(resp); got != 21 {
+		t.Errorf("totalKeys = %d, want 21", got)
+	}
+	h, ok := hull(resp)
+	if !ok || h != (kinterval{0, 39}) {
+		t.Errorf("hull = %v, %v", h, ok)
+	}
+	if _, ok := hull(nil); ok {
+		t.Error("hull of empty responsibility must report !ok")
+	}
+}
+
+func TestLeafMaxErrorMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		// A small universe of entries within [0, 4000].
+		var los, his []uint32
+		cur := uint32(rng.Intn(50))
+		for cur < 4000 {
+			w := uint32(rng.Intn(80))
+			los = append(los, cur)
+			his = append(his, cur+w)
+			cur += w + 1 + uint32(rng.Intn(100))
+		}
+		n := len(los)
+		s := randomSubmodel(rng, 0, 4200)
+		resp := []kinterval{{0, 1500}, {1600, 4200}}
+
+		got := s.leafMaxError(resp, los, his)
+
+		var want int32
+		for _, iv := range resp {
+			for k := iv.lo; k <= iv.hi; k++ {
+				ti := -1
+				for j := 0; j < n; j++ {
+					if uint32(k) >= los[j] && uint32(k) <= his[j] {
+						ti = j
+						break
+					}
+				}
+				if ti < 0 {
+					continue
+				}
+				d := int32(s.bucket(k, n) - ti)
+				if d < 0 {
+					d = -d
+				}
+				if d > want {
+					want = d
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: leafMaxError = %d, brute force = %d", trial, got, want)
+		}
+	}
+}
+
+func TestKinkKeysWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 50; trial++ {
+		lo := uint64(rng.Intn(1000))
+		hi := lo + 1 + uint64(rng.Intn(100000))
+		s := randomSubmodel(rng, lo, hi)
+		for _, k := range s.kinkKeys(lo, hi) {
+			if k < lo || k > hi {
+				t.Fatalf("kink key %d outside [%d,%d]", k, lo, hi)
+			}
+		}
+	}
+}
+
+func TestDedupKeys(t *testing.T) {
+	got := dedupKeys([]uint64{1, 1, 2, 3, 3, 3, 9})
+	want := []uint64{1, 2, 3, 9}
+	if len(got) != len(want) {
+		t.Fatalf("dedupKeys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dedupKeys = %v, want %v", got, want)
+		}
+	}
+	if out := dedupKeys(nil); len(out) != 0 {
+		t.Errorf("dedupKeys(nil) = %v", out)
+	}
+}
+
+func TestBucketClamping(t *testing.T) {
+	// A submodel whose raw output exceeds [0,1): bucket must stay in range.
+	s := submodel{
+		w1: []float64{10}, b1: []float64{0},
+		w2: []float64{10}, b2: -5,
+		inLo: 0, inSpan: 1,
+	}
+	for _, k := range []uint64{0, 1 << 16, 1 << 31, maxKey} {
+		b := s.bucket(k, 7)
+		if b < 0 || b > 6 {
+			t.Errorf("bucket(%d) = %d out of [0,6]", k, b)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package rqrmi implements the Range-Query Recursive Model Index of the
+// paper (§3.3–§3.5): a staged hierarchy of tiny neural networks that learns
+// the mapping from 32-bit keys to the index of the matching range in a
+// sorted array of non-overlapping ranges.
+//
+// The model guarantees correct lookups for every key covered by a range:
+// training computes a per-leaf worst-case prediction error (Theorem A.13)
+// and Lookup searches the value array within that bound. Keys that fall in a
+// gap between ranges return "not found".
+//
+// Exactness. The paper computes trigger and transition inputs analytically
+// over the reals and argues correctness in exact arithmetic. In floating
+// point, solved roots can be off by ulps, so this implementation grounds the
+// analysis on the integer key lattice, where every query lives: keys are
+// scaled by 2^-32 (exact in float64), ReLU kinks isolate at most one
+// ambiguous lattice key each, and quantization transitions are located by
+// monotone binary search on the lattice with the same eval used at lookup
+// time. The resulting responsibilities and error bounds are exact for every
+// possible query, not merely with high probability. This strengthens the
+// float32 implementation the paper describes in §4.
+package rqrmi
+
+import (
+	"fmt"
+	"sort"
+
+	"nuevomatch/internal/rules"
+)
+
+// scale maps a uint32 key into [0,1). Multiplication by a power of two is
+// exact in IEEE-754, so distinct keys map to distinct x values.
+const scale = 1.0 / (1 << 32)
+
+// clampHi is the largest float64 below 1.0; the output trimming function H
+// of Definition 3.1 maps into [0, clampHi].
+const clampHi = 1 - 1.0/(1<<53)
+
+// Entry associates one range with an opaque payload (for NuevoMatch: the
+// rule's position in the original rule-set). Ranges must be pairwise
+// non-overlapping within one model.
+type Entry struct {
+	Range rules.Range
+	Value int
+}
+
+// submodel is one node of the RQ-RMI: the 3-layer network of Definition 3.1
+// preceded by an affine input normalization u = (x-inLo)/inSpan mapping the
+// submodel's responsibility hull to [0,1]. The composition remains piecewise
+// linear in x, so the paper's analytic machinery applies unchanged; the
+// normalization only improves trainability of leaves whose responsibility is
+// a sliver of the domain.
+type submodel struct {
+	w1, b1 []float64
+	w2     []float64
+	b2     float64
+	inLo   float64
+	inSpan float64 // > 0
+}
+
+// evalX computes M(x) = H(N(u(x))) ∈ [0, 1) for a scaled input.
+func (s *submodel) evalX(x float64) float64 {
+	u := (x - s.inLo) / s.inSpan
+	y := s.b2
+	for k, w := range s.w1 {
+		z := u*w + s.b1[k]
+		if z > 0 {
+			y += s.w2[k] * z
+		}
+	}
+	if y < 0 {
+		return 0
+	}
+	if y >= 1 {
+		return clampHi
+	}
+	return y
+}
+
+// bucket quantizes the submodel output at key k into w buckets:
+// ⌊M(k·2^-32)·w⌋ clamped to [0, w-1]. This is fi of Definition A.2 and is
+// the exact operation performed during inference.
+func (s *submodel) bucket(k uint64, w int) int {
+	b := int(s.evalX(float64(k)*scale) * float64(w))
+	if b < 0 {
+		return 0
+	}
+	if b >= w {
+		return w - 1
+	}
+	return b
+}
+
+// sizeBytes is the serialized footprint of one submodel using the float32
+// weight accounting of the paper's implementation (§4): 3h+1 weights plus
+// the two normalization scalars.
+func (s *submodel) sizeBytes() int { return (3*len(s.w1) + 1 + 2) * 4 }
+
+// Model is a trained RQ-RMI over a set of non-overlapping ranges.
+type Model struct {
+	stages [][]submodel
+	widths []int // widths[i] == len(stages[i])
+
+	entries []Entry
+	// los/his are the inclusive range boundaries of entries, kept in flat
+	// slices for cache-friendly binary search (the paper packs field values
+	// from different rules into the same cache lines, §4).
+	los, his []uint32
+	// errs[j] is the guaranteed worst-case index prediction error of leaf
+	// submodel j over its responsibility, plus the configured safety slack.
+	errs   []int32
+	maxErr int32
+}
+
+// Len returns the number of indexed ranges.
+func (m *Model) Len() int { return len(m.entries) }
+
+// Entries returns the model's sorted entries. The slice is shared; callers
+// must not modify the ranges (SetValue may rewrite payloads).
+func (m *Model) Entries() []Entry { return m.entries }
+
+// MaxError returns the largest per-leaf guaranteed search distance.
+func (m *Model) MaxError() int { return int(m.maxErr) }
+
+// NumStages returns the number of model stages.
+func (m *Model) NumStages() int { return len(m.stages) }
+
+// NumSubmodels returns the total number of submodels across stages.
+func (m *Model) NumSubmodels() int {
+	n := 0
+	for _, st := range m.stages {
+		n += len(st)
+	}
+	return n
+}
+
+// MemoryFootprint returns the byte size of the model itself — submodel
+// weights and per-leaf error bounds — which is what must stay cache-resident
+// for fast inference (§5.2.1). The sorted range array walked by the
+// secondary search is accounted separately by ValueArrayBytes.
+func (m *Model) MemoryFootprint() int {
+	b := 8 // stage-width bookkeeping
+	for _, st := range m.stages {
+		for i := range st {
+			b += st[i].sizeBytes()
+		}
+	}
+	return b + 4*len(m.errs)
+}
+
+// ValueArrayBytes returns the byte size of the sorted per-field boundary
+// array scanned by the secondary search plus the payload indices.
+func (m *Model) ValueArrayBytes() int { return 12 * len(m.entries) }
+
+// route runs the staged inference of §3.1: each stage's prediction selects
+// the submodel of the next stage; the leaf predicts the entry index.
+func (m *Model) route(k uint64) (leaf, pred int) {
+	j := 0
+	last := len(m.stages) - 1
+	for i := 0; i < last; i++ {
+		j = m.stages[i][j].bucket(k, m.widths[i+1])
+	}
+	return j, m.stages[last][j].bucket(k, len(m.entries))
+}
+
+// Lookup returns the payload of the range containing key; ok is false when
+// no range contains it. The cost is NumStages submodel inferences plus a
+// binary search over at most 2·err+1 entries.
+func (m *Model) Lookup(key uint32) (value int, ok bool) {
+	i, ok := m.LookupEntry(key)
+	if !ok {
+		return 0, false
+	}
+	return m.entries[i].Value, true
+}
+
+// LookupEntry is like Lookup but returns the matched entry position.
+func (m *Model) LookupEntry(key uint32) (index int, ok bool) {
+	if len(m.entries) == 0 {
+		return 0, false
+	}
+	leaf, pred := m.route(uint64(key))
+	e := int(m.errs[leaf])
+	lo, hi := pred-e, pred+e
+	if lo < 0 {
+		lo = 0
+	}
+	if n := len(m.entries) - 1; hi > n {
+		hi = n
+	}
+	// Binary search for the last entry with Lo <= key within [lo, hi]; the
+	// error bound guarantees the true entry, if any, is inside the window.
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if m.los[mid] <= key {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if m.los[lo] <= key && key <= m.his[lo] {
+		return lo, true
+	}
+	return 0, false
+}
+
+// SetValue rewrites the payload at entry position i. NuevoMatch updates use
+// it to tombstone deleted rules without retraining (§3.9).
+func (m *Model) SetValue(i, value int) { m.entries[i].Value = value }
+
+// Predict runs only the model inference: the staged routing plus the leaf's
+// index prediction and its guaranteed error bound. Together with Search it
+// splits Lookup into its two phases so callers can profile them separately
+// (the Figure 14 breakdown).
+func (m *Model) Predict(key uint32) (pred, errBound int) {
+	if len(m.entries) == 0 {
+		return 0, 0
+	}
+	leaf, pred := m.route(uint64(key))
+	return pred, int(m.errs[leaf])
+}
+
+// Search performs the secondary search around a prediction obtained from
+// Predict, returning the matching entry position.
+func (m *Model) Search(key uint32, pred, errBound int) (index int, ok bool) {
+	if len(m.entries) == 0 {
+		return 0, false
+	}
+	lo, hi := pred-errBound, pred+errBound
+	if lo < 0 {
+		lo = 0
+	}
+	if n := len(m.entries) - 1; hi > n {
+		hi = n
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if m.los[mid] <= key {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if m.los[lo] <= key && key <= m.his[lo] {
+		return lo, true
+	}
+	return 0, false
+}
+
+// validateEntries sorts entries by range start and rejects overlap.
+func validateEntries(entries []Entry) ([]Entry, error) {
+	es := append([]Entry(nil), entries...)
+	sort.Slice(es, func(i, j int) bool { return es[i].Range.Lo < es[j].Range.Lo })
+	for i := range es {
+		if !es[i].Range.Valid() {
+			return nil, fmt.Errorf("rqrmi: entry %d has invalid range %v", i, es[i].Range)
+		}
+		if i > 0 && es[i-1].Range.Hi >= es[i].Range.Lo {
+			return nil, fmt.Errorf("rqrmi: ranges %v and %v overlap", es[i-1].Range, es[i].Range)
+		}
+	}
+	return es, nil
+}

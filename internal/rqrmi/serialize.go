@@ -1,0 +1,195 @@
+package rqrmi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"nuevomatch/internal/rules"
+)
+
+// Binary model serialization. Training can take minutes at 500K rules
+// (Figure 15), so production deployments persist trained models and load
+// them at startup; this codec is also the honest way to measure "model
+// size" (MemoryFootprint agrees with the encoded weight payload).
+//
+// Format (little-endian):
+//
+//	magic "RQRMI\x01" | nStages u32 | widths u32... |
+//	per submodel: hidden u32, inLo f64, inSpan f64, w1/b1/w2 f64..., b2 f64 |
+//	nEntries u32 | per entry: lo u32, hi u32, value i64 |
+//	errs i32...
+
+var magic = [6]byte{'R', 'Q', 'R', 'M', 'I', 1}
+
+// WriteTo serializes the model. It implements io.WriterTo.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+	if err := write(magic); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(len(m.stages))); err != nil {
+		return cw.n, err
+	}
+	for _, wd := range m.widths {
+		if err := write(uint32(wd)); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, st := range m.stages {
+		for i := range st {
+			s := &st[i]
+			if err := write(uint32(len(s.w1))); err != nil {
+				return cw.n, err
+			}
+			for _, v := range [][]float64{{s.inLo, s.inSpan}, s.w1, s.b1, s.w2, {s.b2}} {
+				if err := write(v); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+	}
+	if err := write(uint32(len(m.entries))); err != nil {
+		return cw.n, err
+	}
+	for _, e := range m.entries {
+		if err := write(e.Range.Lo); err != nil {
+			return cw.n, err
+		}
+		if err := write(e.Range.Hi); err != nil {
+			return cw.n, err
+		}
+		if err := write(int64(e.Value)); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := write(m.errs); err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadModel deserializes a model written by WriteTo.
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var got [6]byte
+	if err := read(&got); err != nil {
+		return nil, fmt.Errorf("rqrmi: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("rqrmi: bad magic %q", got[:])
+	}
+	var nStages uint32
+	if err := read(&nStages); err != nil {
+		return nil, err
+	}
+	if nStages > 16 {
+		return nil, fmt.Errorf("rqrmi: implausible stage count %d", nStages)
+	}
+	m := &Model{widths: make([]int, nStages), stages: make([][]submodel, nStages)}
+	for i := range m.widths {
+		var w uint32
+		if err := read(&w); err != nil {
+			return nil, err
+		}
+		if w == 0 || w > 1<<20 {
+			return nil, fmt.Errorf("rqrmi: implausible stage width %d", w)
+		}
+		m.widths[i] = int(w)
+	}
+	for si := range m.stages {
+		m.stages[si] = make([]submodel, m.widths[si])
+		for j := range m.stages[si] {
+			var hidden uint32
+			if err := read(&hidden); err != nil {
+				return nil, err
+			}
+			if hidden == 0 || hidden > 1024 {
+				return nil, fmt.Errorf("rqrmi: implausible hidden size %d", hidden)
+			}
+			s := submodel{
+				w1: make([]float64, hidden),
+				b1: make([]float64, hidden),
+				w2: make([]float64, hidden),
+			}
+			var norm [2]float64
+			if err := read(&norm); err != nil {
+				return nil, err
+			}
+			s.inLo, s.inSpan = norm[0], norm[1]
+			if s.inSpan <= 0 || math.IsNaN(s.inSpan) {
+				return nil, fmt.Errorf("rqrmi: invalid input span %v", s.inSpan)
+			}
+			for _, dst := range [][]float64{s.w1, s.b1, s.w2} {
+				if err := read(&dst); err != nil {
+					return nil, err
+				}
+			}
+			if err := read(&s.b2); err != nil {
+				return nil, err
+			}
+			m.stages[si][j] = s
+		}
+	}
+	var nEntries uint32
+	if err := read(&nEntries); err != nil {
+		return nil, err
+	}
+	m.entries = make([]Entry, nEntries)
+	m.los = make([]uint32, nEntries)
+	m.his = make([]uint32, nEntries)
+	for i := range m.entries {
+		var lo, hi uint32
+		var val int64
+		if err := read(&lo); err != nil {
+			return nil, err
+		}
+		if err := read(&hi); err != nil {
+			return nil, err
+		}
+		if err := read(&val); err != nil {
+			return nil, err
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("rqrmi: entry %d inverted [%d,%d]", i, lo, hi)
+		}
+		if i > 0 && m.his[i-1] >= lo {
+			return nil, fmt.Errorf("rqrmi: entries %d and %d overlap", i-1, i)
+		}
+		m.entries[i] = Entry{Range: rules.Range{Lo: lo, Hi: hi}, Value: int(val)}
+		m.los[i], m.his[i] = lo, hi
+	}
+	if nStages > 0 {
+		m.errs = make([]int32, m.widths[nStages-1])
+		if err := read(&m.errs); err != nil {
+			return nil, err
+		}
+		for _, e := range m.errs {
+			if e < 0 {
+				return nil, fmt.Errorf("rqrmi: negative error bound %d", e)
+			}
+			if e > m.maxErr {
+				m.maxErr = e
+			}
+		}
+	}
+	return m, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

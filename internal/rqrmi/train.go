@@ -1,0 +1,403 @@
+package rqrmi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"nuevomatch/internal/nn"
+)
+
+// TrainStats reports what training did, feeding the Figure 15 experiment
+// (training time vs. error bound).
+type TrainStats struct {
+	Submodels    int
+	LeafRetrains int
+	// MaxError/MeanError are the stored per-leaf bounds (slack included).
+	MaxError  int
+	MeanError float64
+	Samples   int
+	Duration  time.Duration
+}
+
+// maxKey is the largest key of the input domain D.
+const maxKey = uint64(1)<<32 - 1
+
+// Train fits an RQ-RMI to the given non-overlapping ranges following §3.5:
+// stage by stage, computing each submodel's responsibility analytically from
+// the trained submodels of the previous stage, generating its training set
+// by uniform sampling of the responsibility, and — for leaves — computing
+// the worst-case error bound and retraining with doubled samples while the
+// bound exceeds cfg.TargetError.
+//
+// Training is deterministic for a fixed Config, regardless of Workers.
+func Train(entries []Entry, cfg Config) (*Model, *TrainStats, error) {
+	start := time.Now()
+	es, err := validateEntries(entries)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg = cfg.withDefaults(len(es))
+	if cfg.StageWidths[0] != 1 {
+		return nil, nil, fmt.Errorf("rqrmi: first stage width must be 1, got %d", cfg.StageWidths[0])
+	}
+
+	m := &Model{entries: es}
+	m.los = make([]uint32, len(es))
+	m.his = make([]uint32, len(es))
+	for i := range es {
+		m.los[i] = es[i].Range.Lo
+		m.his[i] = es[i].Range.Hi
+	}
+	if len(es) == 0 {
+		m.widths = []int{}
+		return m, &TrainStats{Duration: time.Since(start)}, nil
+	}
+
+	// Clamp widths to the entry count; a stage wider than the number of
+	// distinct indexes wastes submodels without refining the prediction.
+	widths := make([]int, 0, len(cfg.StageWidths))
+	for _, w := range cfg.StageWidths {
+		if w > len(es) {
+			w = len(es)
+		}
+		if w < 1 {
+			w = 1
+		}
+		widths = append(widths, w)
+	}
+	m.widths = widths
+	m.stages = make([][]submodel, len(widths))
+
+	t := &trainer{cfg: cfg, model: m}
+	stats := &TrainStats{}
+
+	resp := [][]kinterval{{{0, maxKey}}} // stage 0: the whole domain
+	for si := range widths {
+		m.stages[si] = make([]submodel, widths[si])
+		isLeaf := si == len(widths)-1
+
+		var next *respSet
+		if !isLeaf {
+			next = newRespSet(widths[si+1])
+		} else {
+			m.errs = make([]int32, widths[si])
+		}
+
+		// Train all submodels of the stage in parallel; every submodel's
+		// randomness derives from (Seed, stage, index, attempt), so the
+		// result is independent of scheduling.
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Workers)
+		var mu sync.Mutex
+		for j := 0; j < widths[si]; j++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(j int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				sub, errBound, retrains, samples := t.trainSubmodel(si, j, resp[j], isLeaf)
+				m.stages[si][j] = sub
+				mu.Lock()
+				stats.Submodels++
+				stats.Samples += samples
+				if isLeaf {
+					m.errs[j] = errBound
+					stats.LeafRetrains += retrains
+				}
+				mu.Unlock()
+			}(j)
+		}
+		wg.Wait()
+
+		if !isLeaf {
+			for j := 0; j < widths[si]; j++ {
+				m.stages[si][j].propagate(resp[j], widths[si+1], next)
+			}
+			resp = next.ivs
+		}
+	}
+
+	var sum float64
+	for _, e := range m.errs {
+		if e > m.maxErr {
+			m.maxErr = e
+		}
+		sum += float64(e)
+	}
+	stats.MaxError = int(m.maxErr)
+	stats.MeanError = sum / float64(len(m.errs))
+	stats.Duration = time.Since(start)
+	return m, stats, nil
+}
+
+type trainer struct {
+	cfg   Config
+	model *Model
+}
+
+// trainSubmodel fits one submodel on its responsibility. For leaves it runs
+// the sample-doubling loop of Figure 5 and returns the stored error bound;
+// for internal submodels errBound is 0.
+func (t *trainer) trainSubmodel(stage, idx int, resp []kinterval, isLeaf bool) (sub submodel, errBound int32, retrains, samples int) {
+	h, ok := hull(resp)
+	if !ok {
+		// Unreachable submodel: no input routes here. Keep an identity
+		// placeholder with a zero bound.
+		rng := rand.New(rand.NewSource(t.seed(stage, idx, 0)))
+		net := nn.New(t.cfg.Hidden, rng)
+		return submodel{
+			w1: net.W1, b1: net.B1, w2: net.W2, b2: net.B2,
+			inLo: 0, inSpan: 1,
+		}, 0, 0, 0
+	}
+
+	overlap := t.overlapCount(resp)
+	want := 2 * overlap
+	if want < t.cfg.MinSamples {
+		want = t.cfg.MinSamples
+	}
+	if want > t.cfg.MaxSamples {
+		want = t.cfg.MaxSamples
+	}
+
+	epochs := t.cfg.InternalEpochs
+	if isLeaf {
+		epochs = t.cfg.LeafEpochs
+	}
+
+	// The network is trained in the submodel's normalized input space
+	// u = (x - inLo)/inSpan — the same affine transform eval applies — so
+	// the near-identity initialization starts close to the local CDF no
+	// matter how narrow the responsibility is.
+	inLo := float64(h.lo) * scale
+	inSpan := (float64(h.hi) - float64(h.lo)) * scale
+	if inSpan <= 0 {
+		inSpan = scale
+	}
+
+	var best submodel
+	var bestErr int32 = -1
+	attempts := t.cfg.MaxRetrain
+	if !isLeaf {
+		attempts = 1
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		rng := rand.New(rand.NewSource(t.seed(stage, idx, attempt)))
+		// Uniform key sampling underweights dense clusters of narrow
+		// ranges (many indices in few keys), which is exactly where the
+		// error bound fails; retrain attempts therefore add every entry
+		// boundary in the responsibility — the steps of the staircase
+		// being learned — on top of the uniform samples.
+		xs, ys := t.sampleDataset(resp, want, isLeaf && attempt > 0)
+		if !isLeaf {
+			// Routing submodels determine the index balance of the next
+			// stage, so their fit must be good where the *index* mass is,
+			// not where the key mass is: blend in samples drawn uniformly
+			// over the entries of the responsibility.
+			ixs, iys := t.sampleIndexUniform(resp, want/2)
+			xs = append(xs, ixs...)
+			ys = append(ys, iys...)
+		}
+		samples += len(xs)
+		for i := range xs {
+			xs[i] = (xs[i] - inLo) / inSpan
+		}
+		net := nn.New(t.cfg.Hidden, rng)
+		nn.Train(net, xs, ys, nn.TrainConfig{Epochs: epochs, LR: t.cfg.LR})
+		cand := submodel{
+			w1: net.W1, b1: net.B1, w2: net.W2, b2: net.B2,
+			inLo: inLo, inSpan: inSpan,
+		}
+		if !isLeaf {
+			return cand, 0, 0, samples
+		}
+		e := cand.leafMaxError(resp, t.model.los, t.model.his)
+		if bestErr < 0 || e < bestErr {
+			best, bestErr = cand, e
+		}
+		if int(bestErr) <= t.cfg.TargetError {
+			break
+		}
+		retrains++
+		want *= 2
+		if want > t.cfg.MaxSamples {
+			want = t.cfg.MaxSamples
+		}
+		// Cap at the number of keys actually available.
+		if tk := totalKeys(resp); tk < uint64(want) {
+			want = int(tk)
+		}
+	}
+	stored := bestErr + int32(t.cfg.SafetySlack)
+	if lim := int32(len(t.model.entries)); stored > lim {
+		stored = lim
+	}
+	return best, stored, retrains, samples
+}
+
+// seed derives a deterministic per-(stage, submodel, attempt) RNG seed.
+func (t *trainer) seed(stage, idx, attempt int) int64 {
+	s := uint64(t.cfg.Seed)
+	for _, v := range [3]uint64{uint64(stage), uint64(idx), uint64(attempt)} {
+		s ^= v + 0x9e3779b97f4a7c15 + (s << 6) + (s >> 2)
+	}
+	return int64(s)
+}
+
+// overlapCount returns the number of entries whose range intersects the
+// responsibility hull — a cheap proxy for how much structure the submodel
+// must learn, used to size the initial training set.
+func (t *trainer) overlapCount(resp []kinterval) int {
+	h, ok := hull(resp)
+	if !ok {
+		return 0
+	}
+	los := t.model.los
+	n := len(los)
+	first := sort.Search(n, func(i int) bool { return uint64(t.model.his[i]) >= h.lo })
+	last := sort.Search(n, func(i int) bool { return uint64(los[i]) > h.hi })
+	if last < first {
+		return 0
+	}
+	return last - first
+}
+
+// sampleDataset draws ~want evenly spaced keys from the responsibility
+// (§3.5.4): a sample is kept only when some entry contains it, so each range
+// contributes proportionally to its share of the responsibility. When
+// uniform placement yields too few matched samples — sparse ranges inside a
+// wide responsibility — the dataset is topped up with the boundary keys of
+// overlapping entries, which are exactly the steps of the function being
+// learned.
+func (t *trainer) sampleDataset(resp []kinterval, want int, allBoundaries bool) (xs, ys []float64) {
+	total := totalKeys(resp)
+	if total == 0 || want == 0 {
+		return nil, nil
+	}
+	if uint64(want) > total {
+		want = int(total)
+	}
+	n := float64(len(t.model.entries))
+	label := func(idx int) float64 { return (float64(idx) + 0.5) / n }
+
+	step := float64(total) / float64(want)
+	ivi := 0
+	consumed := uint64(0) // keys of resp before intervals[ivi]
+	for i := 0; i < want; i++ {
+		pos := uint64((float64(i) + 0.5) * step)
+		if pos >= total {
+			pos = total - 1
+		}
+		for pos-consumed >= resp[ivi].count() {
+			consumed += resp[ivi].count()
+			ivi++
+		}
+		key := resp[ivi].lo + (pos - consumed)
+		if idx := t.trueIdx(key); idx >= 0 {
+			xs = append(xs, float64(key)*scale)
+			ys = append(ys, label(idx))
+		}
+	}
+
+	// Add entry boundaries clipped into the responsibility: all of them on
+	// retrain attempts, or as a top-up when uniform sampling matched too
+	// few keys (sparse ranges in a wide responsibility).
+	budget := want
+	if !allBoundaries {
+		if len(xs) >= want/2 {
+			return xs, ys
+		}
+	} else {
+		budget = len(xs) + 2*len(t.model.entries)
+	}
+	for _, iv := range resp {
+		j := sort.Search(len(t.model.los), func(i int) bool { return uint64(t.model.los[i]) > iv.lo })
+		if j > 0 {
+			j--
+		}
+		for ; j < len(t.model.los) && uint64(t.model.los[j]) <= iv.hi; j++ {
+			for _, key := range [2]uint64{uint64(t.model.los[j]), uint64(t.model.his[j])} {
+				if key < iv.lo || key > iv.hi {
+					continue
+				}
+				if idx := t.trueIdx(key); idx >= 0 {
+					xs = append(xs, float64(key)*scale)
+					ys = append(ys, label(idx))
+				}
+			}
+			if len(xs) >= budget {
+				return xs, ys
+			}
+		}
+	}
+	return xs, ys
+}
+
+// sampleIndexUniform draws up to want samples spread evenly over the
+// *entries* overlapping the responsibility (one representative key per
+// sampled entry), complementing the key-uniform sampling of §3.5.4 where
+// narrow ranges carry many indices in few keys.
+func (t *trainer) sampleIndexUniform(resp []kinterval, want int) (xs, ys []float64) {
+	if want <= 0 {
+		return nil, nil
+	}
+	n := float64(len(t.model.entries))
+	label := func(idx int) float64 { return (float64(idx) + 0.5) / n }
+	total := t.overlapCount(resp)
+	stride := 1
+	if total > want {
+		stride = total / want
+	}
+	emitted := 0
+	for _, iv := range resp {
+		j := sort.Search(len(t.model.los), func(i int) bool { return uint64(t.model.los[i]) > iv.lo })
+		if j > 0 {
+			j--
+		}
+		for ; j < len(t.model.los) && uint64(t.model.los[j]) <= iv.hi; j += stride {
+			lo, hi := uint64(t.model.los[j]), uint64(t.model.his[j])
+			if lo < iv.lo {
+				lo = iv.lo
+			}
+			if hi > iv.hi {
+				hi = iv.hi
+			}
+			if lo > hi {
+				continue
+			}
+			key := lo + (hi-lo)/2
+			xs = append(xs, float64(key)*scale)
+			ys = append(ys, label(j))
+			emitted++
+			if emitted >= want {
+				return xs, ys
+			}
+		}
+	}
+	return xs, ys
+}
+
+// trueIdx returns the entry containing key, or -1.
+func (t *trainer) trueIdx(key uint64) int {
+	k := uint32(key)
+	los, his := t.model.los, t.model.his
+	lo, hi := 0, len(los)-1
+	if hi < 0 {
+		return -1
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if los[mid] <= k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if los[lo] <= k && k <= his[lo] {
+		return lo
+	}
+	return -1
+}

@@ -1,0 +1,48 @@
+package rules
+
+// Classifier is the minimal lookup contract shared by every packet
+// classification algorithm in the repository.
+//
+// Lookup returns the ID of the highest-priority matching rule, or -1 when no
+// rule matches. IDs — not positions — are returned because they remain
+// stable when a rule-set is partitioned into subsets (iSets, remainder) and
+// under online updates. Implementations must be safe for concurrent Lookup
+// calls once built.
+type Classifier interface {
+	// Name identifies the algorithm, e.g. "tuplemerge".
+	Name() string
+	// Lookup classifies one packet.
+	Lookup(p Packet) int
+	// MemoryFootprint returns the size in bytes of the lookup index
+	// structures — models, trees, hash tables — excluding the rules
+	// themselves, matching the accounting of §5.2.1 of the paper.
+	MemoryFootprint() int
+}
+
+// BoundedClassifier supports the early-termination optimization of §4: the
+// caller passes the best (numerically smallest) priority found so far and
+// the classifier may prune any part of its index that cannot beat it.
+type BoundedClassifier interface {
+	Classifier
+	// LookupWithBound behaves like Lookup but may return -1 early when no
+	// rule with Priority < bestPrio can match.
+	LookupWithBound(p Packet, bestPrio int32) int
+}
+
+// Stringer-free sentinel returned by Lookup when nothing matches.
+const NoMatch = -1
+
+// Updatable is implemented by classifiers that support online rule updates
+// (§3.9). Among the baselines only TupleMerge is designed for fast updates;
+// the linear classifier implements it trivially.
+type Updatable interface {
+	Classifier
+	// Insert adds a rule. The rule's ID must be unique in the classifier.
+	Insert(r Rule) error
+	// Delete removes the rule with the given ID.
+	Delete(id int) error
+}
+
+// Builder constructs a classifier over a rule-set. The returned classifier
+// reports matches as positions in rs.Rules.
+type Builder func(rs *RuleSet) (Classifier, error)

@@ -1,0 +1,90 @@
+package rules
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Raw-packet decoding: classifiers in a virtual network function receive
+// wire-format frames, not pre-parsed tuples. DecodeFiveTuple extracts the
+// classification 5-tuple from an IPv4 packet (optionally preceded by an
+// Ethernet II header), the hot-path subset of a full decoder: no
+// allocations, no layer objects.
+
+// Ethernet/IP constants used by the decoder.
+const (
+	etherTypeIPv4   = 0x0800
+	etherHeaderLen  = 14
+	ipv4MinHeader   = 20
+	protoTCP        = 6
+	protoUDP        = 17
+	protoSCTP       = 132
+	fragOffsetMask  = 0x1fff
+	minTransportLen = 4 // src+dst ports
+)
+
+// DecodeFiveTuple parses an IPv4 packet starting at the IP header and
+// returns its classification tuple. Ports are zero for protocols without
+// ports and for non-first fragments (which carry no transport header).
+func DecodeFiveTuple(b []byte) (FiveTuple, error) {
+	var t FiveTuple
+	if len(b) < ipv4MinHeader {
+		return t, fmt.Errorf("rules: packet too short for IPv4 header: %d bytes", len(b))
+	}
+	if version := b[0] >> 4; version != 4 {
+		return t, fmt.Errorf("rules: not IPv4 (version %d)", version)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < ipv4MinHeader {
+		return t, fmt.Errorf("rules: invalid IHL %d", ihl)
+	}
+	if len(b) < ihl {
+		return t, fmt.Errorf("rules: truncated IPv4 options: have %d, need %d", len(b), ihl)
+	}
+	totalLen := int(binary.BigEndian.Uint16(b[2:4]))
+	if totalLen < ihl {
+		return t, fmt.Errorf("rules: total length %d < header length %d", totalLen, ihl)
+	}
+	t.Proto = b[9]
+	t.SrcIP = binary.BigEndian.Uint32(b[12:16])
+	t.DstIP = binary.BigEndian.Uint32(b[16:20])
+
+	fragOffset := binary.BigEndian.Uint16(b[6:8]) & fragOffsetMask
+	if fragOffset != 0 {
+		return t, nil // non-first fragment: no L4 header
+	}
+	switch t.Proto {
+	case protoTCP, protoUDP, protoSCTP:
+		if len(b) >= ihl+minTransportLen {
+			t.SrcPort = binary.BigEndian.Uint16(b[ihl : ihl+2])
+			t.DstPort = binary.BigEndian.Uint16(b[ihl+2 : ihl+4])
+		}
+	}
+	return t, nil
+}
+
+// DecodeEthernetFiveTuple parses an Ethernet II frame carrying IPv4.
+func DecodeEthernetFiveTuple(b []byte) (FiveTuple, error) {
+	if len(b) < etherHeaderLen {
+		return FiveTuple{}, fmt.Errorf("rules: frame too short for Ethernet header: %d bytes", len(b))
+	}
+	if et := binary.BigEndian.Uint16(b[12:14]); et != etherTypeIPv4 {
+		return FiveTuple{}, fmt.Errorf("rules: unsupported EtherType %#04x", et)
+	}
+	return DecodeFiveTuple(b[etherHeaderLen:])
+}
+
+// EncodeFiveTuple builds a minimal valid IPv4+transport packet carrying the
+// tuple — the inverse of DecodeFiveTuple, used by trace tooling and tests.
+func EncodeFiveTuple(t FiveTuple) []byte {
+	b := make([]byte, ipv4MinHeader+8)
+	b[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
+	b[8] = 64 // TTL
+	b[9] = t.Proto
+	binary.BigEndian.PutUint32(b[12:16], t.SrcIP)
+	binary.BigEndian.PutUint32(b[16:20], t.DstIP)
+	binary.BigEndian.PutUint16(b[20:22], t.SrcPort)
+	binary.BigEndian.PutUint16(b[22:24], t.DstPort)
+	return b
+}

@@ -1,0 +1,155 @@
+package rules
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeFiveTupleRoundTrip(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, protoRaw uint8) bool {
+		proto := []uint8{protoTCP, protoUDP, protoSCTP}[protoRaw%3]
+		in := FiveTuple{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: proto}
+		got, err := DecodeFiveTuple(EncodeFiveTuple(in))
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodePortlessProtocol(t *testing.T) {
+	in := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 99, DstPort: 99, Proto: 1} // ICMP
+	b := EncodeFiveTuple(in)
+	got, err := DecodeFiveTuple(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 0 || got.DstPort != 0 {
+		t.Errorf("ICMP ports = %d/%d, want 0/0", got.SrcPort, got.DstPort)
+	}
+	if got.Proto != 1 || got.SrcIP != 1 || got.DstIP != 2 {
+		t.Errorf("decoded %+v", got)
+	}
+}
+
+func TestDecodeFragmentSkipsPorts(t *testing.T) {
+	b := EncodeFiveTuple(FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 80, DstPort: 443, Proto: protoTCP})
+	b[7] = 5 // fragment offset 5
+	got, err := DecodeFiveTuple(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 0 || got.DstPort != 0 {
+		t.Error("non-first fragment must not carry ports")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"short", make([]byte, 10)},
+		{"version6", append([]byte{0x65}, make([]byte, 30)...)},
+		{"badIHL", append([]byte{0x41}, make([]byte, 30)...)},
+		{"truncatedOptions", append([]byte{0x4f}, make([]byte, 20)...)},
+	}
+	for _, c := range cases {
+		if _, err := DecodeFiveTuple(c.b); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	short := EncodeFiveTuple(FiveTuple{Proto: protoTCP})
+	short[3] = 10 // total length < header length
+	if _, err := DecodeFiveTuple(short); err == nil {
+		t.Error("bad total length accepted")
+	}
+}
+
+func TestDecodeEthernet(t *testing.T) {
+	in := FiveTuple{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 1234, DstPort: 80, Proto: protoTCP}
+	frame := make([]byte, etherHeaderLen)
+	frame[12], frame[13] = 0x08, 0x00
+	frame = append(frame, EncodeFiveTuple(in)...)
+	got, err := DecodeEthernetFiveTuple(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != in {
+		t.Errorf("decoded %+v, want %+v", got, in)
+	}
+	frame[12] = 0x86 // IPv6 EtherType
+	if _, err := DecodeEthernetFiveTuple(frame); err == nil {
+		t.Error("non-IPv4 EtherType accepted")
+	}
+	if _, err := DecodeEthernetFiveTuple(frame[:5]); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestSplitPrefix64(t *testing.T) {
+	mac := uint64(0x0011223344556677)
+	// /0: both chunks wild.
+	r := SplitPrefix64(mac, 0)
+	if !r[0].IsFull() || !r[1].IsFull() {
+		t.Errorf("/0 = %v", r)
+	}
+	// /24: high chunk prefixed, low wild.
+	r = SplitPrefix64(mac, 24)
+	if got := PrefixRange(0x00112233, 24); r[0] != got || !r[1].IsFull() {
+		t.Errorf("/24 = %v", r)
+	}
+	// /48 (MAC OUI+NIC): high exact, low /16.
+	r = SplitPrefix64(mac, 48)
+	if r[0] != ExactRange(0x00112233) || r[1] != PrefixRange(0x44556677, 16) {
+		t.Errorf("/48 = %v", r)
+	}
+	// /64: both exact; clamping beyond 64.
+	r = SplitPrefix64(mac, 99)
+	if r[0] != ExactRange(0x00112233) || r[1] != ExactRange(0x44556677) {
+		t.Errorf("/64 = %v", r)
+	}
+	// Membership property: v' matches the split ranges iff it shares the
+	// prefix.
+	for _, plen := range []int{0, 13, 32, 40, 64} {
+		ranges := SplitPrefix64(mac, plen)
+		probe := func(v uint64) bool {
+			c := SplitField64(v)
+			return ranges[0].Contains(c[0]) && ranges[1].Contains(c[1])
+		}
+		if !probe(mac) {
+			t.Errorf("/%d: value does not match its own prefix", plen)
+		}
+		if plen > 0 {
+			flipped := mac ^ (1 << (64 - uint(plen))) // flip the last prefix bit
+			if probe(flipped) {
+				t.Errorf("/%d: flipped prefix bit still matches", plen)
+			}
+		}
+	}
+}
+
+func TestSplitPrefix128(t *testing.T) {
+	words := [4]uint32{0x20010db8, 0x85a30000, 0x00008a2e, 0x03707334}
+	r := SplitPrefix128(words, 0)
+	for i := range r {
+		if !r[i].IsFull() {
+			t.Errorf("/0 chunk %d = %v", i, r[i])
+		}
+	}
+	r = SplitPrefix128(words, 48) // typical IPv6 site prefix
+	if r[0] != ExactRange(words[0]) || r[1] != PrefixRange(words[1], 16) ||
+		!r[2].IsFull() || !r[3].IsFull() {
+		t.Errorf("/48 = %v", r)
+	}
+	r = SplitPrefix128(words, 200) // clamped to /128
+	for i := range r {
+		if r[i] != ExactRange(words[i]) {
+			t.Errorf("/128 chunk %d = %v", i, r[i])
+		}
+	}
+	if SplitField128(words) != words {
+		t.Error("SplitField128 must be the identity on words")
+	}
+}

@@ -1,0 +1,217 @@
+package rules
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Field indices for the classic 5-tuple layout used by ClassBench and by the
+// paper's evaluation (§5.1.1): source/destination IPv4 address,
+// source/destination transport port, protocol.
+const (
+	FieldSrcIP = iota
+	FieldDstIP
+	FieldSrcPort
+	FieldDstPort
+	FieldProto
+	NumFiveTupleFields
+)
+
+// FiveTuple is the metadata of one packet in a 5-field classifier.
+type FiveTuple struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Packet converts the tuple to the generic packet representation.
+func (t FiveTuple) Packet() Packet {
+	return Packet{t.SrcIP, t.DstIP, uint32(t.SrcPort), uint32(t.DstPort), uint32(t.Proto)}
+}
+
+// AppendTo appends the tuple's field values to dst, reusing its storage.
+// It is the allocation-free alternative to Packet for hot loops.
+func (t FiveTuple) AppendTo(dst Packet) Packet {
+	return append(dst, t.SrcIP, t.DstIP, uint32(t.SrcPort), uint32(t.DstPort), uint32(t.Proto))
+}
+
+// ParseIPv4 parses dotted-quad notation into a big-endian uint32.
+func ParseIPv4(s string) (uint32, error) {
+	var parts [4]uint32
+	n := 0
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if n == 4 {
+				return 0, fmt.Errorf("rules: invalid IPv4 %q", s)
+			}
+			v, err := strconv.ParseUint(s[start:i], 10, 8)
+			if err != nil {
+				return 0, fmt.Errorf("rules: invalid IPv4 %q: %v", s, err)
+			}
+			parts[n] = uint32(v)
+			n++
+			start = i + 1
+		}
+	}
+	if n != 4 {
+		return 0, fmt.Errorf("rules: invalid IPv4 %q", s)
+	}
+	return parts[0]<<24 | parts[1]<<16 | parts[2]<<8 | parts[3], nil
+}
+
+// FormatIPv4 renders a big-endian uint32 in dotted-quad notation.
+func FormatIPv4(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", v>>24&0xff, v>>16&0xff, v>>8&0xff, v&0xff)
+}
+
+// WriteClassBench writes a 5-field rule-set in the classic ClassBench filter
+// format, one rule per line:
+//
+//	@sip/plen dip/plen sport_lo : sport_hi dport_lo : dport_hi proto/mask
+//
+// Non-prefix IP ranges cannot be represented in this format and cause an
+// error; the generators in this repository only emit prefix IP fields.
+func WriteClassBench(w io.Writer, rs *RuleSet) error {
+	if rs.NumFields != NumFiveTupleFields {
+		return fmt.Errorf("rules: ClassBench format requires 5 fields, got %d", rs.NumFields)
+	}
+	bw := bufio.NewWriter(w)
+	for i := range rs.Rules {
+		r := &rs.Rules[i]
+		sipLen, ok := r.Fields[FieldSrcIP].IsPrefix()
+		if !ok {
+			return fmt.Errorf("rules: rule %d: source IP range %v is not a prefix", r.ID, r.Fields[FieldSrcIP])
+		}
+		dipLen, ok := r.Fields[FieldDstIP].IsPrefix()
+		if !ok {
+			return fmt.Errorf("rules: rule %d: destination IP range %v is not a prefix", r.ID, r.Fields[FieldDstIP])
+		}
+		proto := r.Fields[FieldProto]
+		protoMask := 0xff
+		if proto.IsFull() {
+			protoMask = 0
+		} else if !proto.IsExact() {
+			return fmt.Errorf("rules: rule %d: protocol range %v is neither exact nor wildcard", r.ID, proto)
+		}
+		_, err := fmt.Fprintf(bw, "@%s/%d\t%s/%d\t%d : %d\t%d : %d\t0x%02x/0x%02x\n",
+			FormatIPv4(r.Fields[FieldSrcIP].Lo), sipLen,
+			FormatIPv4(r.Fields[FieldDstIP].Lo), dipLen,
+			r.Fields[FieldSrcPort].Lo, r.Fields[FieldSrcPort].Hi,
+			r.Fields[FieldDstPort].Lo, r.Fields[FieldDstPort].Hi,
+			proto.Lo, protoMask)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadClassBench parses the ClassBench filter format written by
+// WriteClassBench. Rules are assigned sequential IDs and priorities in file
+// order (first rule wins), the convention used by ClassBench consumers.
+func ReadClassBench(r io.Reader) (*RuleSet, error) {
+	rs := NewRuleSet(NumFiveTupleFields)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "@") {
+			return nil, fmt.Errorf("rules: line %d: missing leading '@'", lineNo)
+		}
+		fields := strings.Fields(line[1:])
+		// Expected: sip/len dip/len slo : shi dlo : dhi proto/mask [extra...]
+		if len(fields) < 9 {
+			return nil, fmt.Errorf("rules: line %d: want at least 9 tokens, got %d", lineNo, len(fields))
+		}
+		sip, err := parsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %v", lineNo, err)
+		}
+		dip, err := parsePrefix(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %v", lineNo, err)
+		}
+		sport, err := parsePortRange(fields[2], fields[3], fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %v", lineNo, err)
+		}
+		dport, err := parsePortRange(fields[5], fields[6], fields[7])
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %v", lineNo, err)
+		}
+		proto, err := parseProto(fields[8])
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %v", lineNo, err)
+		}
+		rs.AddAuto(sip, dip, sport, dport, proto)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+func parsePrefix(s string) (Range, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Range{}, fmt.Errorf("invalid prefix %q", s)
+	}
+	ip, err := ParseIPv4(s[:slash])
+	if err != nil {
+		return Range{}, err
+	}
+	plen, err := strconv.Atoi(s[slash+1:])
+	if err != nil || plen < 0 || plen > 32 {
+		return Range{}, fmt.Errorf("invalid prefix length in %q", s)
+	}
+	return PrefixRange(ip, plen), nil
+}
+
+func parsePortRange(lo, colon, hi string) (Range, error) {
+	if colon != ":" {
+		return Range{}, fmt.Errorf("invalid port range separator %q", colon)
+	}
+	l, err := strconv.ParseUint(lo, 10, 16)
+	if err != nil {
+		return Range{}, fmt.Errorf("invalid port %q", lo)
+	}
+	h, err := strconv.ParseUint(hi, 10, 16)
+	if err != nil {
+		return Range{}, fmt.Errorf("invalid port %q", hi)
+	}
+	if l > h {
+		return Range{}, fmt.Errorf("port range %s:%s inverted", lo, hi)
+	}
+	return Range{uint32(l), uint32(h)}, nil
+}
+
+func parseProto(s string) (Range, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Range{}, fmt.Errorf("invalid protocol %q", s)
+	}
+	val, err := strconv.ParseUint(strings.TrimPrefix(s[:slash], "0x"), 16, 8)
+	if err != nil {
+		return Range{}, fmt.Errorf("invalid protocol value %q", s)
+	}
+	mask, err := strconv.ParseUint(strings.TrimPrefix(s[slash+1:], "0x"), 16, 8)
+	if err != nil {
+		return Range{}, fmt.Errorf("invalid protocol mask %q", s)
+	}
+	if mask == 0 {
+		return FullRange(), nil
+	}
+	if mask != 0xff {
+		return Range{}, fmt.Errorf("unsupported protocol mask 0x%02x", mask)
+	}
+	return ExactRange(uint32(val)), nil
+}

@@ -1,0 +1,126 @@
+package rules
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseFormatIPv4(t *testing.T) {
+	tests := []struct {
+		s string
+		v uint32
+	}{
+		{"0.0.0.0", 0},
+		{"255.255.255.255", 0xffffffff},
+		{"10.10.3.100", 0x0a0a0364},
+		{"192.168.1.1", 0xc0a80101},
+	}
+	for _, tc := range tests {
+		got, err := ParseIPv4(tc.s)
+		if err != nil {
+			t.Fatalf("ParseIPv4(%q): %v", tc.s, err)
+		}
+		if got != tc.v {
+			t.Errorf("ParseIPv4(%q) = %#x, want %#x", tc.s, got, tc.v)
+		}
+		if back := FormatIPv4(tc.v); back != tc.s {
+			t.Errorf("FormatIPv4(%#x) = %q, want %q", tc.v, back, tc.s)
+		}
+	}
+	for _, bad := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3"} {
+		if _, err := ParseIPv4(bad); err == nil {
+			t.Errorf("ParseIPv4(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFiveTuplePacket(t *testing.T) {
+	ft := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 5}
+	want := Packet{1, 2, 3, 4, 5}
+	got := ft.Packet()
+	if len(got) != len(want) {
+		t.Fatalf("Packet length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Packet[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	buf := make(Packet, 0, 5)
+	got2 := ft.AppendTo(buf)
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Errorf("AppendTo[%d] = %d, want %d", i, got2[i], want[i])
+		}
+	}
+}
+
+func TestClassBenchRoundTrip(t *testing.T) {
+	rs := NewRuleSet(NumFiveTupleFields)
+	rs.AddAuto(PrefixRange(0x0a0a0000, 16), PrefixRange(0, 0), Range{0, 65535}, Range{80, 80}, ExactRange(6))
+	rs.AddAuto(PrefixRange(0x0a0a0100, 24), PrefixRange(0xc0a80000, 16), Range{1024, 65535}, Range{53, 53}, ExactRange(17))
+	rs.AddAuto(ExactRange(0x0a0a0364), PrefixRange(0, 0), Range{19, 19}, Range{0, 65535}, FullRange())
+
+	var buf bytes.Buffer
+	if err := WriteClassBench(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadClassBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rs.Len() {
+		t.Fatalf("round-trip length %d, want %d", back.Len(), rs.Len())
+	}
+	for i := range rs.Rules {
+		for d := 0; d < NumFiveTupleFields; d++ {
+			if rs.Rules[i].Fields[d] != back.Rules[i].Fields[d] {
+				t.Errorf("rule %d field %d: %v != %v", i, d, rs.Rules[i].Fields[d], back.Rules[i].Fields[d])
+			}
+		}
+	}
+}
+
+func TestReadClassBenchRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"no-at-sign 1 2 3",
+		"@1.2.3.4/33 0.0.0.0/0 0 : 0 0 : 0 0x06/0xff",
+		"@1.2.3.4/8 0.0.0.0/0 5 : 1 0 : 0 0x06/0xff", // inverted port range
+		"@1.2.3.4/8 0.0.0.0/0 0 x 1 0 : 0 0x06/0xff", // bad separator
+		"@1.2.3.4/8 0.0.0.0/0 0 : 1 0 : 0 0x06/0x0f", // unsupported mask
+		"@1.2.3.4/8 0.0.0.0/0 0 : 1 0 : 0",           // too few tokens
+	}
+	for _, c := range cases {
+		if _, err := ReadClassBench(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadClassBench(%q) should fail", c)
+		}
+	}
+}
+
+func TestReadClassBenchSkipsCommentsAndBlank(t *testing.T) {
+	in := "# comment\n\n@1.2.3.4/32\t0.0.0.0/0\t0 : 65535\t80 : 80\t0x06/0xff\n"
+	rs, err := ReadClassBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("got %d rules, want 1", rs.Len())
+	}
+	if rs.Rules[0].Fields[FieldDstPort] != (Range{80, 80}) {
+		t.Errorf("dst port = %v, want 80-80", rs.Rules[0].Fields[FieldDstPort])
+	}
+}
+
+func TestWriteClassBenchRejectsNonPrefix(t *testing.T) {
+	rs := NewRuleSet(NumFiveTupleFields)
+	rs.AddAuto(Range{1, 6}, FullRange(), FullRange(), FullRange(), FullRange())
+	var buf bytes.Buffer
+	if err := WriteClassBench(&buf, rs); err == nil {
+		t.Error("WriteClassBench should reject non-prefix IP ranges")
+	}
+	rs2 := NewRuleSet(3)
+	if err := WriteClassBench(&buf, rs2); err == nil {
+		t.Error("WriteClassBench should reject non-5-field sets")
+	}
+}

@@ -1,0 +1,62 @@
+package rules
+
+// Long-field handling (§4 of the paper): iSet partitioning and RQ-RMI map
+// inputs to scalar keys, which works directly for 32-bit fields. 64-bit
+// (MAC) and 128-bit (IPv6) fields are split into 32-bit chunks, each
+// treated as a distinct classification dimension — the alternative the
+// paper found superior for IPv6. The secondary search and validation are
+// unaffected because rules store the split chunks directly.
+
+// SplitField64 splits a 64-bit value into two 32-bit dimension values,
+// most-significant first.
+func SplitField64(v uint64) [2]uint32 {
+	return [2]uint32{uint32(v >> 32), uint32(v)}
+}
+
+// SplitPrefix64 converts value/prefixLen over a 64-bit field into the two
+// 32-bit ranges of its chunk dimensions. prefixLen is clamped to [0, 64].
+func SplitPrefix64(v uint64, prefixLen int) [2]Range {
+	if prefixLen < 0 {
+		prefixLen = 0
+	}
+	if prefixLen > 64 {
+		prefixLen = 64
+	}
+	hi, lo := uint32(v>>32), uint32(v)
+	switch {
+	case prefixLen <= 32:
+		// The low chunk is fully wild; the high chunk carries the prefix.
+		return [2]Range{PrefixRange(hi, prefixLen), FullRange()}
+	default:
+		return [2]Range{ExactRange(hi), PrefixRange(lo, prefixLen-32)}
+	}
+}
+
+// SplitField128 splits a 128-bit value (as four big-endian 32-bit words)
+// into dimension values; it exists for symmetry and IPv6 call sites that
+// already carry words.
+func SplitField128(words [4]uint32) [4]uint32 { return words }
+
+// SplitPrefix128 converts a 128-bit prefix over big-endian words into four
+// 32-bit ranges. prefixLen is clamped to [0, 128].
+func SplitPrefix128(words [4]uint32, prefixLen int) [4]Range {
+	if prefixLen < 0 {
+		prefixLen = 0
+	}
+	if prefixLen > 128 {
+		prefixLen = 128
+	}
+	var out [4]Range
+	for i := 0; i < 4; i++ {
+		remaining := prefixLen - 32*i
+		switch {
+		case remaining >= 32:
+			out[i] = ExactRange(words[i])
+		case remaining > 0:
+			out[i] = PrefixRange(words[i], remaining)
+		default:
+			out[i] = FullRange()
+		}
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package rules
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixRange(t *testing.T) {
+	tests := []struct {
+		value uint32
+		plen  int
+		want  Range
+	}{
+		{0, 0, Range{0, math.MaxUint32}},
+		{0xffffffff, 0, Range{0, math.MaxUint32}},
+		{0x0a0a0000, 16, Range{0x0a0a0000, 0x0a0affff}},
+		{0x0a0a0100, 24, Range{0x0a0a0100, 0x0a0a01ff}},
+		{0x0a0a0364, 32, Range{0x0a0a0364, 0x0a0a0364}},
+		{0x0a0a03ff, 24, Range{0x0a0a0300, 0x0a0a03ff}},
+		{0x80000000, 1, Range{0x80000000, 0xffffffff}},
+	}
+	for _, tc := range tests {
+		if got := PrefixRange(tc.value, tc.plen); got != tc.want {
+			t.Errorf("PrefixRange(%#x, %d) = %v, want %v", tc.value, tc.plen, got, tc.want)
+		}
+	}
+}
+
+func TestRangePredicates(t *testing.T) {
+	r := Range{10, 20}
+	if !r.Contains(10) || !r.Contains(20) || !r.Contains(15) {
+		t.Error("Contains should include boundaries and interior")
+	}
+	if r.Contains(9) || r.Contains(21) {
+		t.Error("Contains should exclude values outside")
+	}
+	if !r.Overlaps(Range{20, 30}) || !r.Overlaps(Range{0, 10}) || !r.Overlaps(Range{12, 13}) {
+		t.Error("Overlaps should detect boundary touch and containment")
+	}
+	if r.Overlaps(Range{21, 30}) || r.Overlaps(Range{0, 9}) {
+		t.Error("Overlaps should reject disjoint ranges")
+	}
+	if !r.Covers(Range{10, 20}) || !r.Covers(Range{11, 19}) {
+		t.Error("Covers should accept equal and nested ranges")
+	}
+	if r.Covers(Range{9, 20}) || r.Covers(Range{10, 21}) {
+		t.Error("Covers should reject partial overlap")
+	}
+	if got := r.Size(); got != 11 {
+		t.Errorf("Size() = %d, want 11", got)
+	}
+	if FullRange().Size() != 1<<32 {
+		t.Errorf("FullRange().Size() = %d, want 2^32", FullRange().Size())
+	}
+}
+
+func TestIsPrefix(t *testing.T) {
+	tests := []struct {
+		r        Range
+		wantLen  int
+		wantBool bool
+	}{
+		{FullRange(), 0, true},
+		{Range{0x0a0a0000, 0x0a0affff}, 16, true},
+		{ExactRange(42), 32, true},
+		{Range{10, 20}, 0, false},
+		{Range{0, 2}, 0, false},
+		{Range{0x0a0a0000, 0x0a0afffe}, 0, false},
+	}
+	for _, tc := range tests {
+		gotLen, gotOK := tc.r.IsPrefix()
+		if gotOK != tc.wantBool || (gotOK && gotLen != tc.wantLen) {
+			t.Errorf("%v.IsPrefix() = (%d, %v), want (%d, %v)", tc.r, gotLen, gotOK, tc.wantLen, tc.wantBool)
+		}
+	}
+}
+
+func TestIsPrefixRoundTrip(t *testing.T) {
+	// Property: every prefix range round-trips through IsPrefix.
+	f := func(value uint32, plenRaw uint8) bool {
+		plen := int(plenRaw % 33)
+		r := PrefixRange(value, plen)
+		got, ok := r.IsPrefix()
+		return ok && got == plen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuleMatches(t *testing.T) {
+	// The paper's Figure 2 example: 5 rules over (IPv4 address, port).
+	rs := NewRuleSet(2)
+	rs.AddAuto(PrefixRange(mustIP(t, "10.10.0.0"), 16), Range{10, 18}) // R0
+	rs.AddAuto(PrefixRange(mustIP(t, "10.10.1.0"), 24), Range{15, 25}) // R1
+	rs.AddAuto(PrefixRange(mustIP(t, "10.0.0.0"), 8), Range{5, 8})     // R2
+	rs.AddAuto(PrefixRange(mustIP(t, "10.10.3.0"), 24), Range{7, 20})  // R3
+	rs.AddAuto(ExactRange(mustIP(t, "10.10.3.100")), ExactRange(19))   // R4
+	if err := rs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pkt := Packet{mustIP(t, "10.10.3.100"), 19}
+	// The packet matches R3 and R4; R3 has higher priority (smaller value).
+	if got := rs.MatchLinear(pkt); got != 3 {
+		t.Errorf("MatchLinear = rule %d, want 3 (paper Figure 2)", got)
+	}
+	if !rs.Rules[3].Matches(pkt) || !rs.Rules[4].Matches(pkt) {
+		t.Error("both R3 and R4 should match the packet")
+	}
+	if rs.Rules[0].Matches(pkt) || rs.Rules[1].Matches(pkt) || rs.Rules[2].Matches(pkt) {
+		t.Error("R0-R2 should not match the packet")
+	}
+}
+
+func TestRuleOverlaps(t *testing.T) {
+	a := Rule{Fields: []Range{{0, 10}, {5, 5}}}
+	b := Rule{Fields: []Range{{10, 20}, {0, 9}}}
+	c := Rule{Fields: []Range{{11, 20}, {0, 9}}}
+	if !a.Overlaps(&b) {
+		t.Error("a and b overlap (share point (10,5))")
+	}
+	if a.Overlaps(&c) {
+		t.Error("a and c are disjoint in field 0")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	rs := NewRuleSet(2)
+	rs.Add(Rule{ID: 0, Fields: []Range{{0, 1}}})
+	if err := rs.Validate(); err == nil {
+		t.Error("Validate should reject wrong field count")
+	}
+	rs = NewRuleSet(1)
+	rs.Add(Rule{ID: 0, Fields: []Range{{5, 1}}})
+	if err := rs.Validate(); err == nil {
+		t.Error("Validate should reject inverted range")
+	}
+	rs = NewRuleSet(1)
+	rs.Add(Rule{ID: 7, Fields: []Range{{0, 1}}})
+	rs.Add(Rule{ID: 7, Fields: []Range{{0, 1}}})
+	if err := rs.Validate(); err == nil {
+		t.Error("Validate should reject duplicate IDs")
+	}
+}
+
+func TestSubsetClone(t *testing.T) {
+	rs := NewRuleSet(1)
+	for i := 0; i < 5; i++ {
+		rs.AddAuto(ExactRange(uint32(i)))
+	}
+	sub := rs.Subset([]int{4, 0})
+	if sub.Len() != 2 || sub.Rules[0].ID != 4 || sub.Rules[1].ID != 0 {
+		t.Errorf("Subset mismatch: %+v", sub.Rules)
+	}
+	cl := rs.Clone()
+	cl.Rules[0].Fields[0] = ExactRange(99)
+	if rs.Rules[0].Fields[0] == cl.Rules[0].Fields[0] {
+		t.Error("Clone must deep-copy field slices")
+	}
+}
+
+func TestSortByPriority(t *testing.T) {
+	rs := NewRuleSet(1)
+	rs.Add(Rule{ID: 0, Priority: 3, Fields: []Range{FullRange()}})
+	rs.Add(Rule{ID: 1, Priority: 1, Fields: []Range{FullRange()}})
+	rs.Add(Rule{ID: 2, Priority: 2, Fields: []Range{FullRange()}})
+	rs.SortByPriority()
+	want := []int{1, 2, 0}
+	for i, id := range want {
+		if rs.Rules[i].ID != id {
+			t.Fatalf("after sort position %d has ID %d, want %d", i, rs.Rules[i].ID, id)
+		}
+	}
+}
+
+func TestFieldDiversity(t *testing.T) {
+	rs := NewRuleSet(2)
+	rs.AddAuto(ExactRange(1), ExactRange(7))
+	rs.AddAuto(ExactRange(2), ExactRange(7))
+	rs.AddAuto(ExactRange(3), ExactRange(7))
+	rs.AddAuto(ExactRange(4), ExactRange(7))
+	if got := rs.FieldDiversity(0); got != 1.0 {
+		t.Errorf("diversity(0) = %v, want 1", got)
+	}
+	if got := rs.FieldDiversity(1); got != 0.25 {
+		t.Errorf("diversity(1) = %v, want 0.25", got)
+	}
+}
+
+func TestFieldStabbingAndCentrality(t *testing.T) {
+	rs := NewRuleSet(1)
+	rs.AddAuto(Range{0, 100})
+	rs.AddAuto(Range{50, 150})
+	rs.AddAuto(Range{90, 95})
+	rs.AddAuto(Range{200, 300})
+	// Point 90..95 is covered by three ranges.
+	if got := rs.FieldStabbing(0); got != 3 {
+		t.Errorf("FieldStabbing = %d, want 3", got)
+	}
+	if got := rs.Centrality(); got != 3 {
+		t.Errorf("Centrality = %d, want 3", got)
+	}
+	// Touching endpoints do overlap (inclusive ranges).
+	rs2 := NewRuleSet(1)
+	rs2.AddAuto(Range{0, 10})
+	rs2.AddAuto(Range{10, 20})
+	if got := rs2.FieldStabbing(0); got != 2 {
+		t.Errorf("FieldStabbing with touching ranges = %d, want 2", got)
+	}
+}
+
+func TestStabbingMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		rs := NewRuleSet(1)
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			lo := uint32(rng.Intn(40))
+			hi := lo + uint32(rng.Intn(10))
+			rs.AddAuto(Range{lo, hi})
+		}
+		want := 0
+		for v := uint32(0); v < 64; v++ {
+			c := 0
+			for i := range rs.Rules {
+				if rs.Rules[i].Fields[0].Contains(v) {
+					c++
+				}
+			}
+			if c > want {
+				want = c
+			}
+		}
+		if got := rs.FieldStabbing(0); got != want {
+			t.Fatalf("trial %d: FieldStabbing = %d, brute force = %d (%v)", trial, got, want, rs.Rules)
+		}
+	}
+}
+
+func TestMatchLinearPriorityTieBreak(t *testing.T) {
+	rs := NewRuleSet(1)
+	rs.Add(Rule{ID: 0, Priority: 5, Fields: []Range{FullRange()}})
+	rs.Add(Rule{ID: 1, Priority: 5, Fields: []Range{FullRange()}})
+	// Equal priorities: the first scanned (position 0) wins deterministically.
+	if got := rs.MatchLinear(Packet{0}); got != 0 {
+		t.Errorf("tie-break position = %d, want 0", got)
+	}
+}
+
+func mustIP(t *testing.T, s string) uint32 {
+	t.Helper()
+	v, err := ParseIPv4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

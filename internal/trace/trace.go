@@ -1,0 +1,177 @@
+// Package trace generates the packet traces of §5.1.1: uniform traces that
+// access all rules equally (the worst-case memory access pattern), Zipf
+// traces with the paper's four skew presets, and CAIDA-like traces that
+// reproduce the temporal locality of a real backbone capture after the
+// paper's rule-set mapping (each CAIDA flow is consistently mapped to one
+// rule-matching 5-tuple, so only the trace's locality structure survives —
+// which is exactly what this generator synthesizes).
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"nuevomatch/internal/classbench"
+	"nuevomatch/internal/rules"
+)
+
+// Trace is a sequence of packets plus the positions of the rules they were
+// generated from (for diagnostics; the classifier result may differ when a
+// higher-priority rule also matches).
+type Trace struct {
+	Packets []rules.Packet
+	Sources []int
+}
+
+// Uniform draws n packets from rules chosen uniformly at random — every
+// rule is exercised with equal probability (§5.1.1 "Uniform traffic").
+func Uniform(rng *rand.Rand, rs *rules.RuleSet, n int) *Trace {
+	t := &Trace{Packets: make([]rules.Packet, n), Sources: make([]int, n)}
+	for i := 0; i < n; i++ {
+		ri := rng.Intn(rs.Len())
+		t.Sources[i] = ri
+		t.Packets[i] = classbench.MatchingPacket(rng, &rs.Rules[ri])
+	}
+	return t
+}
+
+// SkewPreset names the paper's Zipf parameters (Figure 12): the skew is
+// expressed as the share of traffic accounted for by the 3% most frequent
+// flows.
+type SkewPreset struct {
+	Name  string
+	Top3  float64 // share of traffic from the top 3% flows
+	Alpha float64 // Zipf exponent
+}
+
+// Presets from Figure 12.
+var (
+	Zipf80 = SkewPreset{"zipf80", 0.80, 1.05}
+	Zipf85 = SkewPreset{"zipf85", 0.85, 1.10}
+	Zipf90 = SkewPreset{"zipf90", 0.90, 1.15}
+	Zipf95 = SkewPreset{"zipf95", 0.95, 1.25}
+)
+
+// SkewPresets lists the four presets in paper order.
+func SkewPresets() []SkewPreset { return []SkewPreset{Zipf80, Zipf85, Zipf90, Zipf95} }
+
+// Zipf draws n packets with rule popularity following a Zipf distribution
+// with the preset's exponent; rule ranks are a random permutation so the
+// popular rules are spread across the set.
+func Zipf(rng *rand.Rand, rs *rules.RuleSet, n int, preset SkewPreset) (*Trace, error) {
+	if preset.Alpha <= 1 {
+		return nil, fmt.Errorf("trace: Zipf exponent must be > 1, got %v", preset.Alpha)
+	}
+	z := rand.NewZipf(rng, preset.Alpha, 1, uint64(rs.Len()-1))
+	if z == nil {
+		return nil, fmt.Errorf("trace: invalid Zipf parameters (alpha=%v, n=%d)", preset.Alpha, rs.Len())
+	}
+	perm := rng.Perm(rs.Len())
+	t := &Trace{Packets: make([]rules.Packet, n), Sources: make([]int, n)}
+	for i := 0; i < n; i++ {
+		ri := perm[int(z.Uint64())]
+		t.Sources[i] = ri
+		t.Packets[i] = classbench.MatchingPacket(rng, &rs.Rules[ri])
+	}
+	return t, nil
+}
+
+// CAIDAOptions tunes the synthetic CAIDA-like trace.
+type CAIDAOptions struct {
+	// Flows is the number of distinct flows; 0 derives n/16.
+	Flows int
+	// WorkingSet is the number of simultaneously active flows between
+	// which packets interleave; 0 means 64.
+	WorkingSet int
+	// Locality is the probability the next packet continues a flow from
+	// the working set rather than activating a new flow; 0 means 0.85.
+	Locality float64
+}
+
+// CAIDALike synthesizes a trace with flow-level temporal locality: flows
+// map to rules Zipf-wise (heavy hitters exist), each flow keeps a single
+// consistent 5-tuple (the paper's CAIDA mapping), and packets interleave
+// within a bounded working set of active flows, mimicking the burstiness of
+// a backbone capture.
+func CAIDALike(rng *rand.Rand, rs *rules.RuleSet, n int, opt CAIDAOptions) (*Trace, error) {
+	if opt.Flows <= 0 {
+		opt.Flows = n / 16
+		if opt.Flows < 1 {
+			opt.Flows = 1
+		}
+	}
+	if opt.WorkingSet <= 0 {
+		opt.WorkingSet = 64
+	}
+	if opt.Locality <= 0 {
+		opt.Locality = 0.85
+	}
+	if opt.Locality >= 1 {
+		return nil, fmt.Errorf("trace: locality must be < 1, got %v", opt.Locality)
+	}
+
+	// One consistent packet per flow, flows assigned to rules Zipf-wise.
+	z := rand.NewZipf(rng, 1.1, 1, uint64(rs.Len()-1))
+	perm := rng.Perm(rs.Len())
+	flowPkt := make([]rules.Packet, opt.Flows)
+	flowSrc := make([]int, opt.Flows)
+	for f := range flowPkt {
+		ri := perm[int(z.Uint64())]
+		flowSrc[f] = ri
+		flowPkt[f] = classbench.MatchingPacket(rng, &rs.Rules[ri])
+	}
+
+	t := &Trace{Packets: make([]rules.Packet, n), Sources: make([]int, n)}
+	working := make([]int, 0, opt.WorkingSet)
+	next := 0
+	activate := func() int {
+		f := next % opt.Flows
+		next++
+		if len(working) < opt.WorkingSet {
+			working = append(working, f)
+		} else {
+			working[rng.Intn(len(working))] = f
+		}
+		return f
+	}
+	activate()
+	for i := 0; i < n; i++ {
+		var f int
+		if rng.Float64() < opt.Locality {
+			f = working[rng.Intn(len(working))]
+		} else {
+			f = activate()
+		}
+		t.Packets[i] = flowPkt[f]
+		t.Sources[i] = flowSrc[f]
+	}
+	return t, nil
+}
+
+// Top3Share measures the share of trace packets attributable to the 3% most
+// frequent source rules — the skew statistic of Figure 12.
+func (t *Trace) Top3Share() float64 {
+	if len(t.Sources) == 0 {
+		return 0
+	}
+	counts := make(map[int]int)
+	for _, s := range t.Sources {
+		counts[s]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	// Descending selection of the top 3% of distinct flows.
+	k := len(freqs) * 3 / 100
+	if k < 1 {
+		k = 1
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	top := 0
+	for i := 0; i < k && i < len(freqs); i++ {
+		top += freqs[i]
+	}
+	return float64(top) / float64(len(t.Sources))
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"nuevomatch/internal/classbench"
+	"nuevomatch/internal/rules"
+)
+
+func testRuleSet(n int) *rules.RuleSet {
+	return classbench.Generate(classbench.Profiles()[0], n)
+}
+
+func TestUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rs := testRuleSet(500)
+	tr := Uniform(rng, rs, 4000)
+	if len(tr.Packets) != 4000 || len(tr.Sources) != 4000 {
+		t.Fatalf("trace sizes: %d packets, %d sources", len(tr.Packets), len(tr.Sources))
+	}
+	// Every packet matches its source rule.
+	for i, p := range tr.Packets {
+		if !rs.Rules[tr.Sources[i]].Matches(p) {
+			t.Fatalf("packet %d does not match its source rule", i)
+		}
+	}
+	// Uniformity: the top 3% of rules should carry roughly 3% of traffic
+	// (clearly below any skewed preset).
+	if share := tr.Top3Share(); share > 0.15 {
+		t.Errorf("uniform trace Top3Share = %.3f, want < 0.15", share)
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rs := testRuleSet(2000)
+	var prev float64
+	for _, preset := range SkewPresets() {
+		tr, err := Zipf(rng, rs, 30000, preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		share := tr.Top3Share()
+		if share <= prev {
+			t.Errorf("%s: Top3Share %.3f not increasing over previous %.3f", preset.Name, share, prev)
+		}
+		prev = share
+		for i, p := range tr.Packets {
+			if !rs.Rules[tr.Sources[i]].Matches(p) {
+				t.Fatalf("%s: packet %d does not match its source", preset.Name, i)
+			}
+		}
+	}
+	// The heaviest preset should be visibly skewed.
+	if prev < 0.5 {
+		t.Errorf("zipf95 Top3Share = %.3f, want >= 0.5", prev)
+	}
+}
+
+func TestZipfRejectsBadAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rs := testRuleSet(100)
+	if _, err := Zipf(rng, rs, 10, SkewPreset{"bad", 0, 1.0}); err == nil {
+		t.Error("alpha <= 1 must be rejected")
+	}
+}
+
+func TestCAIDALike(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rs := testRuleSet(1000)
+	tr, err := CAIDALike(rng, rs, 20000, CAIDAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) != 20000 {
+		t.Fatalf("got %d packets", len(tr.Packets))
+	}
+	for i, p := range tr.Packets {
+		if !rs.Rules[tr.Sources[i]].Matches(p) {
+			t.Fatalf("packet %d does not match its source", i)
+		}
+	}
+	// Flow consistency: all packets of one source rule drawn through the
+	// same flow must be identical — count distinct packets per source.
+	type key [5]uint32
+	bySource := make(map[int]map[key]bool)
+	for i, p := range tr.Packets {
+		var k key
+		copy(k[:], p)
+		m, ok := bySource[tr.Sources[i]]
+		if !ok {
+			m = make(map[key]bool)
+			bySource[tr.Sources[i]] = m
+		}
+		m[k] = true
+	}
+	// Temporal locality: consecutive duplicates should be common.
+	dups := 0
+	for i := 1; i < len(tr.Packets); i++ {
+		same := true
+		for d := range tr.Packets[i] {
+			if tr.Packets[i][d] != tr.Packets[i-1][d] {
+				same = false
+				break
+			}
+		}
+		if same {
+			dups++
+		}
+	}
+	if float64(dups)/float64(len(tr.Packets)) < 0.005 {
+		t.Errorf("only %d consecutive duplicates in 20000 packets; locality too weak", dups)
+	}
+	if _, err := CAIDALike(rng, rs, 10, CAIDAOptions{Locality: 1.5}); err == nil {
+		t.Error("locality >= 1 must be rejected")
+	}
+}
+
+func TestTop3ShareEmpty(t *testing.T) {
+	tr := &Trace{}
+	if got := tr.Top3Share(); got != 0 {
+		t.Errorf("Top3Share of empty trace = %v", got)
+	}
+}

@@ -1,0 +1,127 @@
+// Package nuevomatch is the public API of this repository: a Go
+// implementation of NuevoMatch, the RQ-RMI-based packet classification
+// system of "A Computational Approach to Packet Classification"
+// (Rashelbach, Rottenstreich, Silberstein — SIGCOMM 2020).
+//
+// # Quickstart
+//
+//	rs := nuevomatch.NewRuleSet(nuevomatch.NumFiveTupleFields)
+//	rs.AddAuto(
+//	    nuevomatch.PrefixRange(ip, 24),   // source IP
+//	    nuevomatch.FullRange(),           // destination IP
+//	    nuevomatch.FullRange(),           // source port
+//	    nuevomatch.ExactRange(443),       // destination port
+//	    nuevomatch.ExactRange(6),         // protocol (TCP)
+//	)
+//	engine, err := nuevomatch.Build(rs, nuevomatch.Options{})
+//	id := engine.Lookup(pkt) // ID of the winning rule, -1 if none
+//
+// The engine partitions the rules into iSets indexed by RQ-RMI neural
+// models and a remainder indexed by an external classifier (TupleMerge by
+// default; CutSplit and NeuroCuts builders are provided). Lookups run the
+// paper's full pipeline: model inference, bounded secondary search,
+// multi-field validation, highest-priority selection, and the
+// early-termination remainder query.
+//
+// Rule priorities are numeric with smaller values winning, matching the
+// paper's "priority 1 (highest)" convention. Matching is over 32-bit
+// fields; wider fields are split into 32-bit chunks as in §4 of the paper.
+package nuevomatch
+
+import (
+	"nuevomatch/internal/classifiers/cutsplit"
+	"nuevomatch/internal/classifiers/linear"
+	"nuevomatch/internal/classifiers/neurocuts"
+	"nuevomatch/internal/classifiers/tss"
+	"nuevomatch/internal/classifiers/tuplemerge"
+	"nuevomatch/internal/core"
+	"nuevomatch/internal/rqrmi"
+	"nuevomatch/internal/rules"
+)
+
+// Core rule-model types, re-exported from the internal packages.
+type (
+	// Range is an inclusive [Lo, Hi] match over one 32-bit field.
+	Range = rules.Range
+	// Rule is a multi-field matching rule; smaller Priority wins.
+	Rule = rules.Rule
+	// Packet is a point in field space.
+	Packet = rules.Packet
+	// RuleSet is an ordered rule collection.
+	RuleSet = rules.RuleSet
+	// FiveTuple is the classic (src IP, dst IP, src port, dst port,
+	// proto) packet metadata.
+	FiveTuple = rules.FiveTuple
+	// Classifier is the lookup contract every algorithm implements.
+	Classifier = rules.Classifier
+	// BoundedClassifier adds early-termination support.
+	BoundedClassifier = rules.BoundedClassifier
+	// Updatable adds online Insert/Delete.
+	Updatable = rules.Updatable
+	// Builder constructs a classifier over a rule-set.
+	Builder = rules.Builder
+
+	// Engine is a built NuevoMatch classifier.
+	Engine = core.Engine
+	// Options configures Build.
+	Options = core.Options
+	// BuildStats reports what Build produced.
+	BuildStats = core.BuildStats
+	// UpdateStats tracks drift since the last build (§3.9).
+	UpdateStats = core.UpdateStats
+	// RQRMIConfig tunes per-iSet model training.
+	RQRMIConfig = rqrmi.Config
+)
+
+// Field indices of the 5-tuple layout.
+const (
+	FieldSrcIP   = rules.FieldSrcIP
+	FieldDstIP   = rules.FieldDstIP
+	FieldSrcPort = rules.FieldSrcPort
+	FieldDstPort = rules.FieldDstPort
+	FieldProto   = rules.FieldProto
+	// NumFiveTupleFields is the dimensionality of 5-tuple rule-sets.
+	NumFiveTupleFields = rules.NumFiveTupleFields
+)
+
+// NoMatch is returned by Lookup when no rule matches.
+const NoMatch = rules.NoMatch
+
+// NewRuleSet returns an empty rule-set over the given number of fields.
+func NewRuleSet(numFields int) *RuleSet { return rules.NewRuleSet(numFields) }
+
+// FullRange matches any field value.
+func FullRange() Range { return rules.FullRange() }
+
+// ExactRange matches a single value.
+func ExactRange(v uint32) Range { return rules.ExactRange(v) }
+
+// PrefixRange matches value/prefixLen, e.g. 10.0.0.0/8.
+func PrefixRange(value uint32, prefixLen int) Range { return rules.PrefixRange(value, prefixLen) }
+
+// ParseIPv4 parses dotted-quad notation into a uint32 field value.
+func ParseIPv4(s string) (uint32, error) { return rules.ParseIPv4(s) }
+
+// FormatIPv4 renders a field value in dotted-quad notation.
+func FormatIPv4(v uint32) string { return rules.FormatIPv4(v) }
+
+// Build trains a NuevoMatch engine over the rule-set. The zero Options
+// reproduce the paper's default setup: up to 4 iSets, 5% minimum coverage,
+// error threshold 64, TupleMerge remainder.
+func Build(rs *RuleSet, opts Options) (*Engine, error) { return core.Build(rs, opts) }
+
+// Remainder classifier builders for Options.Remainder, and standalone
+// baselines for comparison.
+var (
+	// TupleMerge is the update-capable hash-based classifier (default
+	// remainder).
+	TupleMerge Builder = tuplemerge.Build
+	// CutSplit is the decision-tree baseline with binth=8.
+	CutSplit Builder = cutsplit.Build
+	// NeuroCuts is the policy-search decision-tree baseline.
+	NeuroCuts Builder = neurocuts.Build
+	// TupleSpaceSearch is the classic TSS classifier.
+	TupleSpaceSearch Builder = tss.Build
+	// Linear is the priority-ordered scan (correctness reference).
+	Linear Builder = linear.Build
+)

@@ -1,0 +1,73 @@
+package nuevomatch_test
+
+import (
+	"testing"
+
+	"nuevomatch"
+)
+
+// TestPaperFigure2 runs the paper's worked example end-to-end through the
+// public API: the classifier of Figure 2 with two fields, an incoming
+// packet 10.10.3.100:19, and the expected action a4 (rule R3).
+func TestPaperFigure2(t *testing.T) {
+	ip := func(s string) uint32 {
+		v, err := nuevomatch.ParseIPv4(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	rs := nuevomatch.NewRuleSet(2)
+	rs.AddAuto(nuevomatch.PrefixRange(ip("10.10.0.0"), 16), nuevomatch.Range{Lo: 10, Hi: 18}) // R0
+	rs.AddAuto(nuevomatch.PrefixRange(ip("10.10.1.0"), 24), nuevomatch.Range{Lo: 15, Hi: 25}) // R1
+	rs.AddAuto(nuevomatch.PrefixRange(ip("10.0.0.0"), 8), nuevomatch.Range{Lo: 5, Hi: 8})     // R2
+	rs.AddAuto(nuevomatch.PrefixRange(ip("10.10.3.0"), 24), nuevomatch.Range{Lo: 7, Hi: 20})  // R3
+	rs.AddAuto(nuevomatch.ExactRange(ip("10.10.3.100")), nuevomatch.ExactRange(19))           // R4
+
+	engine, err := nuevomatch.Build(rs, nuevomatch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := nuevomatch.Packet{ip("10.10.3.100"), 19}
+	if got := engine.Lookup(pkt); got != 3 {
+		t.Fatalf("Lookup = rule %d, want 3 (action a4 in Figure 2)", got)
+	}
+	if got := engine.Lookup(nuevomatch.Packet{ip("192.168.0.1"), 19}); got != nuevomatch.NoMatch {
+		t.Fatalf("Lookup = %d, want NoMatch", got)
+	}
+}
+
+func TestRemainderBuilders(t *testing.T) {
+	rs := nuevomatch.NewRuleSet(2)
+	for i := uint32(0); i < 50; i++ {
+		rs.AddAuto(nuevomatch.ExactRange(i), nuevomatch.FullRange())
+	}
+	for _, b := range []struct {
+		name string
+		b    nuevomatch.Builder
+	}{
+		{"tuplemerge", nuevomatch.TupleMerge},
+		{"cutsplit", nuevomatch.CutSplit},
+		{"neurocuts", nuevomatch.NeuroCuts},
+		{"tss", nuevomatch.TupleSpaceSearch},
+		{"linear", nuevomatch.Linear},
+	} {
+		e, err := nuevomatch.Build(rs, nuevomatch.Options{Remainder: b.b})
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		if got := e.Lookup(nuevomatch.Packet{7, 99}); got != 7 {
+			t.Errorf("%s: Lookup = %d, want 7", b.name, got)
+		}
+	}
+}
+
+func TestFormatIPv4RoundTrip(t *testing.T) {
+	v, err := nuevomatch.ParseIPv4("172.16.254.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := nuevomatch.FormatIPv4(v); s != "172.16.254.1" {
+		t.Errorf("round trip = %q", s)
+	}
+}
