@@ -205,6 +205,22 @@ func BenchmarkFig9SingleCore(b *testing.B) {
 	}
 }
 
+// --- Batched hot path: LookupBatch vs per-packet Lookup -----------------
+
+func BenchmarkLookupBatch(b *testing.B) {
+	f := getFixture(b)
+	e := f.nm[analysis.TM]
+	b.Run("scalar", func(b *testing.B) { benchLookup(b, e, f.pkts) })
+	b.Run("batch", func(b *testing.B) {
+		out := make([]int, analysis.BatchSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i += analysis.BatchSize {
+			off := i % (len(f.pkts) - analysis.BatchSize)
+			e.LookupBatch(f.pkts[off:off+analysis.BatchSize], out)
+		}
+	})
+}
+
 func BenchmarkFig8TwoCore(b *testing.B) {
 	f := getFixture(b)
 	out := make([]int, analysis.BatchSize)

@@ -1,13 +1,18 @@
-// Command benchrunner regenerates the paper's tables and figures as text.
+// Command benchrunner regenerates the paper's tables and figures as text,
+// and emits machine-readable performance artifacts for the perf trajectory.
 //
 // Usage:
 //
 //	benchrunner -exp fig8 -size 10000 -profiles acl1,fw1
 //	benchrunner -exp all -size 500000 -trace 700000   # paper scale
+//	benchrunner -benchjson . -size 10000              # write BENCH_acl1_10000.json
 //
 // Every experiment id maps to one table or figure of the evaluation
 // section; see EXPERIMENTS.md for the index and DESIGN.md for the
-// methodology substitutions.
+// methodology substitutions. With -benchjson DIR the runner skips the
+// experiments and instead measures the engine's lookup paths (per-packet,
+// batched, two-core parallel: throughput, p50/p99 latency, memory
+// footprint) on one profile, writing BENCH_<profile>_<size>.json into DIR.
 package main
 
 import (
@@ -28,8 +33,36 @@ func main() {
 		traceLen = flag.Int("trace", 20000, "packets per trace (paper: 700000)")
 		stanford = flag.Int("stanford", 20000, "Stanford backbone rule-set size (paper: ~183376)")
 		seed     = flag.Int64("seed", 1, "trace generation seed")
+		benchjs  = flag.String("benchjson", "", "directory to write a BENCH_<name>.json perf artifact into (skips -exp)")
 	)
 	flag.Parse()
+
+	if *benchjs != "" {
+		profile := "acl1"
+		if *profiles != "" {
+			profile = strings.Split(*profiles, ",")[0]
+		}
+		a, err := analysis.RunBenchArtifact(profile, *size, *traceLen, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		path, err := analysis.WriteBenchArtifact(*benchjs, a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+		fmt.Printf("  lookup:          %12.0f pps  p50 %6.0f ns  p99 %6.0f ns\n",
+			a.Lookup.ThroughputPPS, a.Lookup.P50Nanos, a.Lookup.P99Nanos)
+		fmt.Printf("  lookup_batch:    %12.0f pps  p50 %6.0f ns  p99 %6.0f ns  (%.2fx speedup)\n",
+			a.LookupBatch.ThroughputPPS, a.LookupBatch.P50Nanos, a.LookupBatch.P99Nanos, a.BatchSpeedup)
+		fmt.Printf("  batch_parallel:  %12.0f pps  p50 %6.0f ns  p99 %6.0f ns\n",
+			a.LookupBatchParallel.ThroughputPPS, a.LookupBatchParallel.P50Nanos, a.LookupBatchParallel.P99Nanos)
+		fmt.Printf("  memory:          %d B total (%d B iSets + %d B remainder)\n",
+			a.Engine.TotalBytes, a.Engine.ISetBytes, a.Engine.RemainderBytes)
+		return
+	}
 
 	cfg := analysis.DefaultConfig(os.Stdout)
 	cfg.Size = *size

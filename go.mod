@@ -1,0 +1,3 @@
+module nuevomatch
+
+go 1.24

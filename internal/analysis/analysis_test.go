@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"bytes"
+	"encoding/json"
 	"math/rand"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -146,9 +148,14 @@ func TestThroughputMeasuresAgree(t *testing.T) {
 	if l1 <= 0 {
 		t.Fatal("non-positive latency")
 	}
-	// Two instances on two goroutines should not be slower than one.
+	// Two instances on two goroutines should not be slower than one. The
+	// ratio is meaningless under the race detector, whose instrumentation
+	// multiplies the synchronization costs being measured.
 	t2 := Throughput2(c, tr.Packets)
-	if t2 < t1*0.8 {
+	if t2 <= 0 {
+		t.Fatal("non-positive 2-core throughput")
+	}
+	if !raceEnabled && t2 < t1*0.8 {
 		t.Errorf("2-core throughput %.0f < 0.8x single-core %.0f", t2, t1)
 	}
 }
@@ -174,5 +181,37 @@ func TestSampleRuleSet(t *testing.T) {
 		if sub.Rules[i].ID <= sub.Rules[i-1].ID {
 			t.Fatal("sample must preserve order")
 		}
+	}
+}
+
+func TestBenchArtifact(t *testing.T) {
+	old := MinMeasure
+	MinMeasure = 5 * time.Millisecond
+	defer func() { MinMeasure = old }()
+	a, err := RunBenchArtifact("acl1", 400, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lookup.ThroughputPPS <= 0 || a.LookupBatch.ThroughputPPS <= 0 {
+		t.Fatalf("non-positive throughput: %+v", a)
+	}
+	if a.Engine.TotalBytes <= 0 {
+		t.Fatal("non-positive memory footprint")
+	}
+	dir := t.TempDir()
+	path, err := WriteBenchArtifact(dir, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchArtifact
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if back.Name != "acl1_400" {
+		t.Fatalf("name = %q", back.Name)
 	}
 }

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"nuevomatch/internal/classbench"
+	"nuevomatch/internal/rules"
+	"nuevomatch/internal/trace"
+)
+
+// BenchArtifact is the machine-readable performance record benchrunner
+// emits as BENCH_<name>.json: one standardized measurement of the engine's
+// hot paths so successive PRs leave a comparable perf trajectory behind.
+type BenchArtifact struct {
+	Name      string `json:"name"`
+	Profile   string `json:"profile"`
+	Rules     int    `json:"rules"`
+	TraceLen  int    `json:"trace_len"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Timestamp string `json:"timestamp"`
+
+	Engine struct {
+		Coverage          float64 `json:"coverage"`
+		NumISets          int     `json:"num_isets"`
+		RemainderSize     int     `json:"remainder_size"`
+		MaxSearchDistance int     `json:"max_search_distance"`
+		TrainingSeconds   float64 `json:"training_seconds"`
+		TotalBytes        int     `json:"total_bytes"`
+		ISetBytes         int     `json:"iset_bytes"`
+		RemainderBytes    int     `json:"remainder_bytes"`
+	} `json:"engine"`
+
+	// Lookup is the per-packet scalar path; LookupBatch the batched path;
+	// LookupBatchParallel the two-worker split of §5.1.
+	Lookup              BenchPath `json:"lookup"`
+	LookupBatch         BenchPath `json:"lookup_batch"`
+	LookupBatchParallel BenchPath `json:"lookup_batch_parallel"`
+
+	// BatchSpeedup is LookupBatch throughput over Lookup throughput — the
+	// number the batched-inference refactor is accountable for.
+	BatchSpeedup float64 `json:"batch_speedup"`
+}
+
+// BenchPath is the measurement of one lookup entry point.
+type BenchPath struct {
+	ThroughputPPS float64 `json:"throughput_pps"`
+	P50Nanos      float64 `json:"p50_ns"`
+	P99Nanos      float64 `json:"p99_ns"`
+	BatchSize     int     `json:"batch_size,omitempty"`
+}
+
+// RunBenchArtifact builds the default engine (TupleMerge remainder, paper
+// options) over a ClassBench profile and measures the three lookup paths.
+func RunBenchArtifact(profileName string, size, traceLen int, seed int64) (*BenchArtifact, error) {
+	prof, err := classbench.ProfileByName(profileName)
+	if err != nil {
+		return nil, err
+	}
+	rs := classbench.Generate(prof, size)
+	rng := rand.New(rand.NewSource(seed))
+	tr := trace.Uniform(rng, rs, traceLen)
+
+	e, err := BuildNM(TM, rs)
+	if err != nil {
+		return nil, err
+	}
+
+	a := &BenchArtifact{
+		Name:      fmt.Sprintf("%s_%d", profileName, size),
+		Profile:   profileName,
+		Rules:     rs.Len(),
+		TraceLen:  len(tr.Packets),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	st := e.Stats()
+	a.Engine.Coverage = st.Coverage
+	a.Engine.NumISets = e.NumISets()
+	a.Engine.RemainderSize = st.RemainderSize
+	a.Engine.MaxSearchDistance = st.MaxSearchDistance
+	a.Engine.TrainingSeconds = st.TrainingTime.Seconds()
+	a.Engine.TotalBytes = e.MemoryFootprint()
+	a.Engine.ISetBytes = e.RQRMIBytes()
+	a.Engine.RemainderBytes = e.RemainderBytes()
+
+	a.Lookup = measureScalar(e, tr.Packets)
+	a.LookupBatch = measureBatch(tr.Packets, BatchSize, func(pkts []rules.Packet, out []int) {
+		e.LookupBatch(pkts, out)
+	})
+	a.LookupBatchParallel = measureBatch(tr.Packets, BatchSize, func(pkts []rules.Packet, out []int) {
+		e.LookupBatchParallel(pkts, out)
+	})
+	if a.Lookup.ThroughputPPS > 0 {
+		a.BatchSpeedup = a.LookupBatch.ThroughputPPS / a.Lookup.ThroughputPPS
+	}
+	return a, nil
+}
+
+// WriteBenchArtifact writes BENCH_<name>.json into dir and returns the path.
+func WriteBenchArtifact(dir string, a *BenchArtifact) (string, error) {
+	path := filepath.Join(dir, "BENCH_"+a.Name+".json")
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// measureScalar measures per-packet Lookup: aggregate throughput over
+// MinMeasure plus p50/p99 of per-packet latency samples.
+func measureScalar(c rules.Classifier, pkts []rules.Packet) BenchPath {
+	for _, p := range pkts { // warmup
+		c.Lookup(p)
+	}
+	var done int
+	start := time.Now()
+	for time.Since(start) < MinMeasure {
+		for _, p := range pkts {
+			c.Lookup(p)
+		}
+		done += len(pkts)
+	}
+	out := BenchPath{ThroughputPPS: float64(done) / time.Since(start).Seconds()}
+
+	samples := make([]float64, 0, len(pkts))
+	for _, p := range pkts {
+		t0 := time.Now()
+		c.Lookup(p)
+		samples = append(samples, float64(time.Since(t0).Nanoseconds()))
+	}
+	out.P50Nanos, out.P99Nanos = percentiles(samples)
+	return out
+}
+
+// measureBatch measures a batched entry point; latency percentiles are over
+// per-batch wall time divided by the batch size (a packet's latency in a
+// batched design is the batch's, §5.1).
+func measureBatch(pkts []rules.Packet, batch int, fn func([]rules.Packet, []int)) BenchPath {
+	if len(pkts) < batch {
+		batch = len(pkts)
+	}
+	res := make([]int, batch)
+	for off := 0; off+batch <= len(pkts) && off < 8*batch; off += batch { // warmup
+		fn(pkts[off:off+batch], res)
+	}
+	var done int
+	start := time.Now()
+	for time.Since(start) < MinMeasure {
+		for off := 0; off+batch <= len(pkts); off += batch {
+			fn(pkts[off:off+batch], res)
+		}
+		done += len(pkts) / batch * batch
+	}
+	out := BenchPath{
+		ThroughputPPS: float64(done) / time.Since(start).Seconds(),
+		BatchSize:     batch,
+	}
+
+	samples := make([]float64, 0, len(pkts)/batch+1)
+	for off := 0; off+batch <= len(pkts); off += batch {
+		t0 := time.Now()
+		fn(pkts[off:off+batch], res)
+		samples = append(samples, float64(time.Since(t0).Nanoseconds())/float64(batch))
+	}
+	out.P50Nanos, out.P99Nanos = percentiles(samples)
+	return out
+}
+
+// percentiles returns the p50 and p99 of the samples.
+func percentiles(xs []float64) (p50, p99 float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(xs)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(xs)-1))
+		return xs[i]
+	}
+	return at(0.50), at(0.99)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package analysis
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-ratio assertions are skipped under it because instrumentation
+// distorts the very overheads they measure.
+const raceEnabled = true

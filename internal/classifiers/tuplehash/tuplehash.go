@@ -56,35 +56,57 @@ func Sum(t []uint8) int {
 // Key converts a tuple to a comparable map key.
 func Key(t []uint8) string { return string(t) }
 
+// The hash mixes each masked field independently — one multiply per field
+// whose dependency chains the CPU overlaps, unlike a byte-serial FNV chain —
+// and finishes with a murmur3-style avalanche. Zero-length fields mask to
+// zero for every packet and rule, so they are skipped entirely; relaxed
+// TupleMerge tuples leave most fields at zero. Only HashPacket/HashRule
+// agreement matters for correctness; the mixing constants are the usual
+// golden-ratio / murmur3 finalizer values.
 const (
-	fnvOffset = 14695981039346656037
-	fnvPrime  = 1099511628211
+	hashSeed  = 0x9E3779B97F4A7C15
+	fieldMix  = 0x2545F4914F6CDD1D
+	avalanche = 0xFF51AFD7ED558CCD
 )
+
+// MixField is the per-field contribution of masked value v in dimension d;
+// a tuple hash is the XOR of its nonzero fields' mixes passed through
+// Finish. Callers scanning many tables that share (dimension, length) pairs
+// can memoize MixField results and rebuild each table's hash with XORs.
+func MixField(d int, v uint32) uint64 {
+	return (uint64(v) + uint64(d+1)*hashSeed) * fieldMix
+}
+
+// Finish is the final avalanche applied to the XOR of field mixes.
+func Finish(h uint64) uint64 {
+	h ^= h >> 33
+	h *= avalanche
+	h ^= h >> 29
+	return h
+}
 
 // HashPacket hashes the packet fields masked to the tuple.
 func HashPacket(p rules.Packet, lens []uint8) uint64 {
-	h := uint64(fnvOffset)
+	var h uint64
 	for d, n := range lens {
-		v := Mask(p[d], n)
-		for shift := 0; shift < 32; shift += 8 {
-			h ^= uint64(v>>shift) & 0xff
-			h *= fnvPrime
+		if n == 0 {
+			continue
 		}
+		h ^= MixField(d, Mask(p[d], n))
 	}
-	return h
+	return Finish(h)
 }
 
 // HashRule hashes a rule's range starts masked to the tuple; a packet inside
 // the rule hashes identically because the tuple never exceeds the rule's
-// effective prefix lengths.
+// effective prefix lengths and zero-length fields are skipped in both.
 func HashRule(r *rules.Rule, lens []uint8) uint64 {
-	h := uint64(fnvOffset)
+	var h uint64
 	for d, n := range lens {
-		v := Mask(r.Fields[d].Lo, n)
-		for shift := 0; shift < 32; shift += 8 {
-			h ^= uint64(v>>shift) & 0xff
-			h *= fnvPrime
+		if n == 0 {
+			continue
 		}
+		h ^= MixField(d, Mask(r.Fields[d].Lo, n))
 	}
-	return h
+	return Finish(h)
 }

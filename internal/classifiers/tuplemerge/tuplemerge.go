@@ -47,23 +47,94 @@ type Config struct {
 func DefaultConfig() Config { return Config{CollisionLimit: 40, RelaxBits: 16, RelaxCap: 16} }
 
 type table struct {
-	lens     []uint8
-	buckets  map[uint64][]int32
+	lens    []uint8
+	buckets bucketIndex
+	// occ is a 64-bit occupancy filter over hash low bits: a bucket with
+	// hash h can exist only if bit h&63 is set. Deletions leave bits stale
+	// (the filter over-approximates), which only costs an index probe.
+	occ      uint64
 	entries  int
 	bestPrio int32
 }
 
+// bucketIndex maps bucket hashes to priority-sorted rule-slot slices with a
+// small open-addressed table: a probe on the hot path is one or two slot
+// loads instead of a general map lookup. Buckets emptied by deletions keep
+// their slot (the slice stays non-nil), so probe chains never break.
+type bucketIndex struct {
+	hs []uint64  // slot hash; meaningful only where bs[i] != nil
+	bs [][]int32 // nil marks a free slot
+	n  int       // occupied slots
+}
+
+func (ix *bucketIndex) get(h uint64) []int32 {
+	if len(ix.hs) == 0 {
+		return nil
+	}
+	mask := uint64(len(ix.hs) - 1)
+	for i := h & mask; ix.bs[i] != nil; i = (i + 1) & mask {
+		if ix.hs[i] == h {
+			return ix.bs[i]
+		}
+	}
+	return nil
+}
+
+// put stores b (non-nil) under h, growing at 3/4 load.
+func (ix *bucketIndex) put(h uint64, b []int32) {
+	if 4*(ix.n+1) > 3*len(ix.hs) {
+		ix.grow()
+	}
+	mask := uint64(len(ix.hs) - 1)
+	i := h & mask
+	for ix.bs[i] != nil {
+		if ix.hs[i] == h {
+			ix.bs[i] = b
+			return
+		}
+		i = (i + 1) & mask
+	}
+	ix.hs[i] = h
+	ix.bs[i] = b
+	ix.n++
+}
+
+func (ix *bucketIndex) grow() {
+	newCap := 16
+	if len(ix.hs) > 0 {
+		newCap = 2 * len(ix.hs)
+	}
+	oldHs, oldBs := ix.hs, ix.bs
+	ix.hs = make([]uint64, newCap)
+	ix.bs = make([][]int32, newCap)
+	ix.n = 0
+	mask := uint64(newCap - 1)
+	for i, b := range oldBs {
+		if b == nil || len(b) == 0 {
+			continue // drop emptied buckets while rehashing
+		}
+		j := oldHs[i] & mask
+		for ix.bs[j] != nil {
+			j = (j + 1) & mask
+		}
+		ix.hs[j] = oldHs[i]
+		ix.bs[j] = b
+		ix.n++
+	}
+}
+
 func (t *table) insert(c *Classifier, pos int32) {
 	h := tuplehash.HashRule(&c.rules[pos], t.lens)
+	t.occ |= 1 << (h & 63)
 	// Buckets stay sorted by ascending priority value so lookup scans can
 	// stop at the first entry that cannot beat the running best.
-	b := t.buckets[h]
+	b := t.buckets.get(h)
 	prio := c.rules[pos].Priority
 	at := sort.Search(len(b), func(i int) bool { return c.rules[b[i]].Priority > prio })
 	b = append(b, 0)
 	copy(b[at+1:], b[at:])
 	b[at] = pos
-	t.buckets[h] = b
+	t.buckets.put(h, b)
 	t.entries++
 	if prio < t.bestPrio {
 		t.bestPrio = prio
@@ -85,12 +156,14 @@ type Classifier struct {
 	rules   []rules.Rule // slot-stable storage; holes after delete
 	free    []int32      // recycled slots
 	tables  []*table     // sorted by bestPrio
+	prios   []int32      // prios[i] == tables[i].bestPrio, flat for the bound scan
 	whereIs map[int]ref  // rule ID -> table/bucket
 }
 
 var (
-	_ rules.BoundedClassifier = (*Classifier)(nil)
-	_ rules.Updatable         = (*Classifier)(nil)
+	_ rules.BoundedClassifier      = (*Classifier)(nil)
+	_ rules.BatchBoundedClassifier = (*Classifier)(nil)
+	_ rules.Updatable              = (*Classifier)(nil)
 )
 
 // New builds a TupleMerge classifier over a snapshot of rs.
@@ -192,14 +265,14 @@ func (c *Classifier) place(pos int32) {
 		}
 	}
 	if best == nil {
-		best = &table{lens: c.relax(lens), buckets: make(map[uint64][]int32), bestPrio: math.MaxInt32}
+		best = &table{lens: c.relax(lens), bestPrio: math.MaxInt32}
 		c.tables = append(c.tables, best)
 	}
 	best.insert(c, pos)
 	c.sortTables()
 
 	h := c.whereIs[r.ID].h
-	if len(best.buckets[h]) > c.cfg.CollisionLimit {
+	if len(best.buckets.get(h)) > c.cfg.CollisionLimit {
 		c.splitBucket(best, h)
 	}
 }
@@ -212,7 +285,7 @@ func (c *Classifier) place(pos int32) {
 // (which no tuple-space scheme can separate — the bucket is accepted and
 // the priority-sorted scan bounds its cost).
 func (c *Classifier) splitBucket(t *table, h uint64) {
-	bucket := t.buckets[h]
+	bucket := t.buckets.get(h)
 	moved := make([]int32, 0, len(bucket))
 	kept := bucket[:0]
 	tsum := tuplehash.Sum(t.lens)
@@ -248,7 +321,9 @@ func (c *Classifier) splitBucket(t *table, h uint64) {
 			}
 		}
 		minLens = tuplehash.Lens(&c.rules[best])
-		// Keep movers the new tuple cannot host.
+		// Keep movers the new tuple cannot host. Appending them breaks the
+		// bucket's ascending-priority invariant (the early-stop scan relies
+		// on it), so restore it before storing.
 		still := moved[:0]
 		for _, pos := range moved {
 			if tuplehash.CoversTuple(minLens, tuplehash.Lens(&c.rules[pos])) {
@@ -257,28 +332,31 @@ func (c *Classifier) splitBucket(t *table, h uint64) {
 				kept = append(kept, pos)
 			}
 		}
+		sort.SliceStable(kept, func(a, b int) bool {
+			return c.rules[kept[a]].Priority < c.rules[kept[b]].Priority
+		})
 		moved = still
 		if len(moved) == 0 {
-			t.buckets[h] = kept
+			t.buckets.put(h, kept)
 			return
 		}
 	}
-	t.buckets[h] = kept
+	t.buckets.put(h, kept)
 	t.entries -= len(moved)
 
-	nt := &table{lens: minLens, buckets: make(map[uint64][]int32), bestPrio: math.MaxInt32}
+	nt := &table{lens: minLens, bestPrio: math.MaxInt32}
 	c.tables = append(c.tables, nt)
 	var overflow []uint64
 	for _, pos := range moved {
 		nt.insert(c, pos)
 		nh := c.whereIs[c.rules[pos].ID].h
-		if len(nt.buckets[nh]) == c.cfg.CollisionLimit+1 {
+		if len(nt.buckets.get(nh)) == c.cfg.CollisionLimit+1 {
 			overflow = append(overflow, nh)
 		}
 	}
 	c.sortTables()
 	for _, nh := range overflow {
-		if len(nt.buckets[nh]) > c.cfg.CollisionLimit {
+		if len(nt.buckets.get(nh)) > c.cfg.CollisionLimit {
 			c.splitBucket(nt, nh)
 		}
 	}
@@ -286,6 +364,13 @@ func (c *Classifier) splitBucket(t *table, h uint64) {
 
 func (c *Classifier) sortTables() {
 	sort.SliceStable(c.tables, func(a, b int) bool { return c.tables[a].bestPrio < c.tables[b].bestPrio })
+	if cap(c.prios) < len(c.tables) {
+		c.prios = make([]int32, len(c.tables))
+	}
+	c.prios = c.prios[:len(c.tables)]
+	for i, t := range c.tables {
+		c.prios[i] = t.bestPrio
+	}
 }
 
 // Delete implements rules.Updatable.
@@ -296,14 +381,12 @@ func (c *Classifier) Delete(id int) error {
 	if !ok {
 		return fmt.Errorf("tuplemerge: no rule with ID %d", id)
 	}
-	bucket := loc.t.buckets[loc.h]
+	bucket := loc.t.buckets.get(loc.h)
 	for i, pos := range bucket {
 		if c.rules[pos].ID == id {
 			copy(bucket[i:], bucket[i+1:]) // preserve priority order
-			loc.t.buckets[loc.h] = bucket[:len(bucket)-1]
-			if len(loc.t.buckets[loc.h]) == 0 {
-				delete(loc.t.buckets, loc.h)
-			}
+			// An emptied bucket keeps its slot so probe chains stay intact.
+			loc.t.buckets.put(loc.h, bucket[:len(bucket)-1])
 			loc.t.entries--
 			c.free = append(c.free, pos)
 			break
@@ -325,13 +408,22 @@ func (c *Classifier) Lookup(p rules.Packet) int {
 func (c *Classifier) LookupWithBound(p rules.Packet, bestPrio int32) int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	return c.lookupLocked(p, bestPrio)
+}
+
+// lookupLocked scans the tables under the running bound.
+func (c *Classifier) lookupLocked(p rules.Packet, bestPrio int32) int {
 	best := rules.NoMatch
-	for _, t := range c.tables {
-		if t.bestPrio >= bestPrio {
+	for ti, bp := range c.prios {
+		if bp >= bestPrio {
 			break
 		}
+		t := c.tables[ti]
 		h := tuplehash.HashPacket(p, t.lens)
-		for _, ri := range t.buckets[h] {
+		if t.occ&(1<<(h&63)) == 0 {
+			continue // definite miss: skip the bucket probe
+		}
+		for _, ri := range t.buckets.get(h) {
 			r := &c.rules[ri]
 			if r.Priority >= bestPrio {
 				break // bucket is priority-sorted
@@ -343,6 +435,17 @@ func (c *Classifier) LookupWithBound(p rules.Packet, bestPrio int32) int {
 		}
 	}
 	return best
+}
+
+// LookupBatchWithBound implements rules.BatchBoundedClassifier: one lock
+// acquisition serves the whole batch, and consecutive packets walk the
+// same (cache-hot) table list. Results equal per-packet LookupWithBound.
+func (c *Classifier) LookupBatchWithBound(pkts []rules.Packet, bounds []int32, out []int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i, p := range pkts {
+		out[i] = c.lookupLocked(p, bounds[i])
+	}
 }
 
 // MemoryFootprint implements rules.Classifier with the same accounting as

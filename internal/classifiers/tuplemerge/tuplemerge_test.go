@@ -162,3 +162,37 @@ func TestRelaxBitsOneDegeneratesToTSS(t *testing.T) {
 		}
 	}
 }
+
+// TestSplitBucketKeepsPriorityOrder is the regression test for a bucket-
+// ordering bug: when splitBucket's degenerate fallback returned unhostable
+// movers to the kept bucket, they were appended at the end, breaking the
+// ascending-priority invariant the early-stop scan in LookupWithBound relies
+// on — high-priority rules behind the out-of-place entry became unreachable.
+//
+// The construction forces exactly that path with CollisionLimit 3: rules
+// insert in priority order into the loose [0,0] table, the bucket overflows
+// with movers whose element-wise tuple minimum degenerates to the table
+// tuple ([0,8] vs [8,0] -> [0,0]), the fallback keeps the [0,8] mover's
+// tuple, and the unhostable [8,0] rule (priority 2) is returned to the kept
+// bucket behind the wildcards (priorities 3, 4). The scan then matches the
+// priority-3 wildcard, breaks at the priority-4 one, and never reaches the
+// better rule.
+func TestSplitBucketKeepsPriorityOrder(t *testing.T) {
+	rs := rules.NewRuleSet(2)
+	add := func(id int, prio int32, f0, f1 rules.Range) {
+		rs.Add(rules.Rule{ID: id, Priority: prio, Fields: []rules.Range{f0, f1}})
+	}
+	add(1, 1, rules.FullRange(), rules.PrefixRange(0xBB000000, 8)) // mover, hosts the split tuple
+	add(2, 2, rules.PrefixRange(0xAA000000, 8), rules.FullRange()) // unhostable mover: the victim
+	add(3, 3, rules.FullRange(), rules.FullRange())
+	add(4, 4, rules.FullRange(), rules.FullRange())
+	c := New(rs, Config{CollisionLimit: 3, RelaxBits: 16, RelaxCap: 16})
+
+	p := rules.Packet{0xAA000001, 0x11000000} // matches rules 2, 3, 4
+	if got, want := c.Lookup(p), rs.MatchID(p); got != want {
+		t.Fatalf("Lookup(%v) = %d, want %d", p, got, want)
+	}
+	if got := c.Lookup(p); got != 2 {
+		t.Fatalf("Lookup = %d, want the buried rule 2", got)
+	}
+}

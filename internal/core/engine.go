@@ -5,12 +5,18 @@
 // and highest-priority selection (Figure 1), with the early-termination
 // optimization of §4 querying the remainder last under the best priority
 // found in the iSets.
+//
+// The engine is split RCU-style: the read side is an immutable snapshot
+// (snapshot.go) published through an atomic pointer, so Lookup and
+// LookupBatch run without locks or map accesses; the write side
+// (updates.go) mutates state under a mutex and publishes fresh snapshots.
 package core
 
 import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nuevomatch/internal/classifiers/tuplemerge"
@@ -25,21 +31,31 @@ import (
 type Options struct {
 	// MaxISets caps the number of RQ-RMI models. The paper finds 1–2 best
 	// with CutSplit/NeuroCuts remainders and 4 with TupleMerge (§5.3.2).
+	// Zero means the default of 4; a negative value disables iSets entirely
+	// and the engine degrades to the remainder classifier alone.
 	MaxISets int
 	// MinCoverage discards iSets below this fraction of the rule-set:
 	// 0.25 against cs/nc, 0.05 against tm in the paper's evaluation.
+	// Zero means the default of 0.05; a negative value disables coverage
+	// filtering so even tiny iSets are kept.
 	MinCoverage float64
 	// RQRMI is the per-iSet training configuration; zero fields default
 	// per rqrmi.DefaultConfig for the iSet's size. The Seed is offset per
 	// iSet to decorrelate models.
 	RQRMI rqrmi.Config
 	// Remainder builds the external classifier; nil means TupleMerge with
-	// the paper's settings.
+	// the paper's settings. When the engine serves lookups concurrently
+	// with Insert/Delete, the classifier must support its own concurrent
+	// Lookup racing its own updates (TupleMerge does: it is the §3.9
+	// online-update component and keeps internal synchronization).
 	Remainder rules.Builder
 	// ISetFields optionally restricts which fields may carry iSets.
 	ISetFields []int
 }
 
+// withDefaults fills zero values. Negative sentinels are preserved so that
+// Rebuild (which re-applies defaults to the stored options) keeps their
+// meaning; Build resolves them at the point of use.
 func (o Options) withDefaults() Options {
 	if o.MaxISets == 0 {
 		o.MaxISets = 4
@@ -53,8 +69,25 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// maxISets resolves the MaxISets sentinel: negative disables iSets.
+func (o Options) maxISets() int {
+	if o.MaxISets < 0 {
+		return 0
+	}
+	return o.MaxISets
+}
+
+// minCoverage resolves the MinCoverage sentinel: negative disables coverage
+// filtering.
+func (o Options) minCoverage() float64 {
+	if o.MinCoverage < 0 {
+		return 0
+	}
+	return o.MinCoverage
+}
+
 // isetIndex is one trained iSet: an RQ-RMI over one field whose entry
-// payloads are positions into the engine's rule slice.
+// payloads are positions into the engine's built rule order.
 type isetIndex struct {
 	field int
 	model *rqrmi.Model
@@ -78,21 +111,38 @@ type BuildStats struct {
 	Train []rqrmi.TrainStats
 }
 
-// Engine is a built NuevoMatch classifier. Lookups are safe for concurrent
-// use; updates serialize internally (§3.9).
+// Engine is a built NuevoMatch classifier. Lookups are lock-free: they load
+// the current snapshot atomically and never touch the write-side state.
+// Updates serialize on the write mutex and publish new snapshots (§3.9).
 type Engine struct {
 	opts Options
 
-	mu     sync.RWMutex
-	rs     *rules.RuleSet // snapshot; positions are stable
+	// snap is the RCU-published read state; Lookup/LookupBatch load it once
+	// per call.
+	snap atomic.Pointer[snapshot]
+
+	// mu guards everything below — the write-side state. It is never taken
+	// by lookups.
+	mu     sync.Mutex
+	rs     *rules.RuleSet // built rules; positions are stable
 	posID  map[int]int    // built rule ID -> position
 	prioID map[int]int32  // every live rule ID (built + inserted) -> priority
 	live   map[int]bool   // rule ID -> not deleted
 	isets  []isetIndex
-	inISet map[int]isetEntry // rule ID -> tombstone location
+	inISet map[int]isetEntry // rule ID -> iSet membership
+	// meta is the master copy of the per-position metadata; it is cloned
+	// before mutation once published (see deleteMetaLocked).
+	meta []ruleMeta
+	// fieldLo/fieldHi are the flat field bounds shared by all snapshots.
+	fieldLo, fieldHi []uint32
 
 	remainder      rules.Classifier
 	remainderRules *rules.RuleSet // current remainder content (for rebuild/stats)
+	// remIDs/remPrios are the remainder's (id, priority) table sorted by
+	// ID, shared with published snapshots and therefore maintained
+	// copy-on-write (updates.go).
+	remIDs   []int
+	remPrios []int32
 
 	stats  BuildStats
 	ustats UpdateStats
@@ -123,12 +173,20 @@ func Build(rs *rules.RuleSet, opts Options) (*Engine, error) {
 		e.live[e.rs.Rules[i].ID] = true
 		e.prioID[e.rs.Rules[i].ID] = e.rs.Rules[i].Priority
 	}
+	e.flattenRules()
 
-	part := iset.Build(e.rs, iset.Options{
-		MaxISets:    opts.MaxISets,
-		MinCoverage: opts.MinCoverage,
-		Fields:      opts.ISetFields,
-	})
+	var part *iset.Partition
+	if opts.maxISets() == 0 {
+		// The sentinel means "no iSets at all" (iset.Build would treat a
+		// zero MaxISets as unlimited); skip partitioning entirely.
+		part = &iset.Partition{Remainder: allPositions(e.rs.Len())}
+	} else {
+		part = iset.Build(e.rs, iset.Options{
+			MaxISets:    opts.maxISets(),
+			MinCoverage: opts.minCoverage(),
+			Fields:      opts.ISetFields,
+		})
+	}
 
 	t0 := time.Now()
 	for i, is := range part.ISets {
@@ -166,8 +224,55 @@ func Build(rs *rules.RuleSet, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("core: building remainder: %w", err)
 	}
 	e.remainder = rem
+	e.remIDs, e.remPrios = sortedRemainderTable(e.remainderRules)
+	e.publishLocked()
 	return e, nil
 }
+
+// flattenRules packs the built rules' metadata and field bounds into the
+// flat arrays the snapshots share.
+func (e *Engine) flattenRules() {
+	n := e.rs.Len()
+	nf := e.rs.NumFields
+	e.meta = make([]ruleMeta, n)
+	e.fieldLo = make([]uint32, n*nf)
+	e.fieldHi = make([]uint32, n*nf)
+	for pos := range e.rs.Rules {
+		r := &e.rs.Rules[pos]
+		e.meta[pos] = ruleMeta{id: r.ID, prio: r.Priority, live: true}
+		base := pos * nf
+		for d, f := range r.Fields {
+			e.fieldLo[base+d] = f.Lo
+			e.fieldHi[base+d] = f.Hi
+		}
+	}
+}
+
+func allPositions(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// publishLocked builds a fresh snapshot from the write-side state and
+// publishes it atomically. Callers hold e.mu (or are still inside Build,
+// before the engine escapes).
+func (e *Engine) publishLocked() {
+	s := &snapshot{
+		numFields: e.rs.NumFields,
+		meta:      e.meta,
+		fieldLo:   e.fieldLo,
+		fieldHi:   e.fieldHi,
+		isets:     e.isets,
+		rem:       newRemainderAdapter(e.remainder, e.remIDs, e.remPrios),
+	}
+	e.snap.Store(s)
+}
+
+// snapshot returns the current read state.
+func (e *Engine) snapshot() *snapshot { return e.snap.Load() }
 
 // Name implements rules.Classifier.
 func (e *Engine) Name() string { return "nuevomatch" }
@@ -176,65 +281,34 @@ func (e *Engine) Name() string { return "nuevomatch" }
 func (e *Engine) Stats() BuildStats { return e.stats }
 
 // NumISets returns the number of trained RQ-RMI models.
-func (e *Engine) NumISets() int { return len(e.isets) }
+func (e *Engine) NumISets() int { return len(e.snapshot().isets) }
 
 // Remainder exposes the external classifier (for tests and tooling).
 func (e *Engine) Remainder() rules.Classifier { return e.remainder }
 
 // Lookup implements rules.Classifier: query all RQ-RMIs, validate the (at
 // most one) candidate per iSet, then query the remainder under the best
-// priority found — the single-core early-termination flow of §4.
+// priority found — the single-core early-termination flow of §4. The hot
+// path is one atomic snapshot load followed by flat-array reads only: no
+// locks, no maps, no type assertions.
 func (e *Engine) Lookup(p rules.Packet) int {
-	return e.LookupWithBound(p, math.MaxInt32)
+	return e.snapshot().lookup(p, math.MaxInt32)
 }
 
 // LookupWithBound implements rules.BoundedClassifier.
 func (e *Engine) LookupWithBound(p rules.Packet, bestPrio int32) int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	best := rules.NoMatch
-	for i := range e.isets {
-		is := &e.isets[i]
-		if id, prio, ok := e.isetCandidate(is, p); ok && prio < bestPrio {
-			best, bestPrio = id, prio
-		}
-	}
-	return e.queryRemainder(p, best, bestPrio)
+	return e.snapshot().lookup(p, bestPrio)
 }
 
-// isetCandidate returns the validated candidate of one iSet: the RQ-RMI
-// yields at most one rule whose range contains the packet's field value;
-// the rule matches the packet only if all other fields validate (§3.6).
-func (e *Engine) isetCandidate(is *isetIndex, p rules.Packet) (id int, prio int32, ok bool) {
-	entry, found := is.model.LookupEntry(p[is.field])
-	if !found {
-		return 0, 0, false
-	}
-	pos := is.model.Entries()[entry].Value
-	if pos < 0 {
-		return 0, 0, false // tombstoned by Delete
-	}
-	r := &e.rs.Rules[pos]
-	if !r.Matches(p) {
-		return 0, 0, false
-	}
-	return r.ID, r.Priority, true
-}
-
-// queryRemainder folds the remainder's answer into the running best.
-func (e *Engine) queryRemainder(p rules.Packet, best int, bestPrio int32) int {
-	if bc, ok := e.remainder.(rules.BoundedClassifier); ok {
-		if id := bc.LookupWithBound(p, bestPrio); id >= 0 {
-			return id
-		}
-		return best
-	}
-	if id := e.remainder.Lookup(p); id >= 0 {
-		if prio, ok := e.prioID[id]; ok && prio < bestPrio {
-			return id
-		}
-	}
-	return best
+// LookupBatch classifies len(pkts) packets into out, which must have at
+// least len(pkts) entries. It is the engine's primary high-throughput entry
+// point: RQ-RMI inference runs stage-by-stage across packet chunks
+// (amortizing per-stage overhead the way the paper's vectorized kernels do),
+// candidates validate against flat metadata, and the remainder is queried
+// per packet under the §4 early-termination bound. Results are identical to
+// calling Lookup per packet against the same snapshot.
+func (e *Engine) LookupBatch(pkts []rules.Packet, out []int) {
+	e.snapshot().lookupBatch(pkts, out)
 }
 
 // LookupNoEarlyTermination is the ablation of the §4 early-termination
@@ -242,31 +316,27 @@ func (e *Engine) queryRemainder(p rules.Packet, best int, bestPrio int32) int {
 // priority found in the iSets. Results are identical to Lookup; only the
 // work differs. Exists for the ablation benchmarks.
 func (e *Engine) LookupNoEarlyTermination(p rules.Packet) int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	s := e.snapshot()
 	best := rules.NoMatch
 	bestPrio := int32(math.MaxInt32)
-	for i := range e.isets {
-		if id, prio, ok := e.isetCandidate(&e.isets[i], p); ok && prio < bestPrio {
+	for i := range s.isets {
+		if id, prio, ok := s.isetCandidate(&s.isets[i], p, bestPrio); ok {
 			best, bestPrio = id, prio
 		}
 	}
-	if id := e.remainder.Lookup(p); id >= 0 {
-		if prio, ok := e.prioID[id]; ok && prio < bestPrio {
-			return id
-		}
+	if id, prio, ok := s.rem.lookupUnbounded(p); ok && prio < bestPrio {
+		return id
 	}
 	return best
 }
 
 // LookupBatchParallel classifies a batch with the two-worker split of the
-// paper's multi-core configuration (§5.1): one worker runs all RQ-RMI iSets,
-// the other runs the remainder classifier, and results merge by priority.
-// Early termination does not apply — the workers race (§4 "Parallelization").
-// out must have len(pkts) entries.
+// paper's multi-core configuration (§5.1): one worker runs all RQ-RMI iSets
+// (batched), the other runs the remainder classifier, and results merge by
+// priority. Early termination does not apply — the workers race (§4
+// "Parallelization"). out must have len(pkts) entries.
 func (e *Engine) LookupBatchParallel(pkts []rules.Packet, out []int) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	s := e.snapshot()
 	type cand struct {
 		id   int
 		prio int32
@@ -276,18 +346,48 @@ func (e *Engine) LookupBatchParallel(pkts []rules.Packet, out []int) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for pi, p := range pkts {
-			best, bestPrio := rules.NoMatch, int32(math.MaxInt32)
-			for i := range e.isets {
-				if id, prio, ok := e.isetCandidate(&e.isets[i], p); ok && prio < bestPrio {
-					best, bestPrio = id, prio
+		const chunk = rqrmi.BatchChunk
+		var keys [chunk]uint32
+		var ents [chunk]int32
+		for off := 0; off < len(pkts); off += chunk {
+			n := len(pkts) - off
+			if n > chunk {
+				n = chunk
+			}
+			block := pkts[off : off+n]
+			for c := range block {
+				isetRes[off+c] = cand{rules.NoMatch, math.MaxInt32}
+			}
+			for i := range s.isets {
+				is := &s.isets[i]
+				for c, p := range block {
+					keys[c] = p[is.field]
+				}
+				is.model.LookupEntryBatch(keys[:n], ents[:n])
+				vals := is.model.Values()
+				for c := range block {
+					ei := ents[c]
+					if ei < 0 {
+						continue
+					}
+					pos := vals[ei]
+					if pos < 0 {
+						continue
+					}
+					m := &s.meta[pos]
+					if !m.live || m.prio >= isetRes[off+c].prio {
+						continue
+					}
+					if !s.matches(pos, block[c]) {
+						continue
+					}
+					isetRes[off+c] = cand{m.id, m.prio}
 				}
 			}
-			isetRes[pi] = cand{best, bestPrio}
 		}
 	}()
 	for pi, p := range pkts {
-		out[pi] = e.remainder.Lookup(p)
+		out[pi] = s.rem.plain.Lookup(p)
 	}
 	wg.Wait()
 	for pi := range pkts {
@@ -299,7 +399,7 @@ func (e *Engine) LookupBatchParallel(pkts []rules.Packet, out []int) {
 		case ir.id < 0:
 			// keep remainder result
 		default:
-			if prio, ok := e.prioID[remID]; !ok || prio >= ir.prio {
+			if prio, ok := s.rem.prioOf(remID); !ok || prio >= ir.prio {
 				out[pi] = ir.id
 			}
 		}
@@ -315,9 +415,10 @@ func (e *Engine) MemoryFootprint() int {
 // RQRMIBytes returns the total size of the trained models alone — the part
 // that must fit in L1/L2 for inference speed (Figure 13's "iSets" bars).
 func (e *Engine) RQRMIBytes() int {
+	s := e.snapshot()
 	b := 0
-	for i := range e.isets {
-		b += e.isets[i].model.MemoryFootprint()
+	for i := range s.isets {
+		b += s.isets[i].model.MemoryFootprint()
 	}
 	return b
 }

@@ -35,31 +35,31 @@ func (p Profile) PerPacket() (remainder, search, validate, inference time.Durati
 
 // ProfileTrace classifies every packet while timing each pipeline phase
 // separately. It is slower than Lookup (four clock reads per packet) and
-// exists for the Figure 14 experiment; results match Lookup exactly.
+// exists for the Figure 14 experiment; results match Lookup exactly. Like
+// Lookup it runs against one atomically loaded snapshot, lock-free.
 func (e *Engine) ProfileTrace(pkts []rules.Packet) (Profile, []int) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	s := e.snapshot()
 	var prof Profile
 	out := make([]int, len(pkts))
 
 	type pred struct {
 		pred, err int
 	}
-	preds := make([]pred, len(e.isets))
-	entries := make([]int, len(e.isets))
+	preds := make([]pred, len(s.isets))
+	entries := make([]int, len(s.isets))
 
 	for pi, p := range pkts {
 		best, bestPrio := rules.NoMatch, int32(math.MaxInt32)
 
 		t0 := time.Now()
-		for i := range e.isets {
-			is := &e.isets[i]
+		for i := range s.isets {
+			is := &s.isets[i]
 			pr, errB := is.model.Predict(p[is.field])
 			preds[i] = pred{pr, errB}
 		}
 		t1 := time.Now()
-		for i := range e.isets {
-			is := &e.isets[i]
+		for i := range s.isets {
+			is := &s.isets[i]
 			if idx, ok := is.model.Search(p[is.field], preds[i].pred, preds[i].err); ok {
 				entries[i] = idx
 			} else {
@@ -67,22 +67,26 @@ func (e *Engine) ProfileTrace(pkts []rules.Packet) (Profile, []int) {
 			}
 		}
 		t2 := time.Now()
-		for i := range e.isets {
+		for i := range s.isets {
 			if entries[i] < 0 {
 				continue
 			}
-			is := &e.isets[i]
-			pos := is.model.Entries()[entries[i]].Value
+			is := &s.isets[i]
+			pos := is.model.Values()[entries[i]]
 			if pos < 0 {
 				continue
 			}
-			r := &e.rs.Rules[pos]
-			if r.Priority < bestPrio && r.Matches(p) {
-				best, bestPrio = r.ID, r.Priority
+			m := &s.meta[pos]
+			if m.live && m.prio < bestPrio && s.matches(pos, p) {
+				best, bestPrio = m.id, m.prio
 			}
 		}
 		t3 := time.Now()
-		out[pi] = e.queryRemainder(p, best, bestPrio)
+		if id := s.rem.lookupWithBound(p, bestPrio); id >= 0 {
+			out[pi] = id
+		} else {
+			out[pi] = best
+		}
 		t4 := time.Now()
 
 		prof.Inference += t1.Sub(t0)

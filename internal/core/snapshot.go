@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"nuevomatch/internal/rqrmi"
+	"nuevomatch/internal/rules"
+)
+
+// This file holds the read side of the engine: an immutable snapshot
+// published through an atomic pointer (RCU-style). Lookups load the current
+// snapshot once and then touch only flat slices — no mutexes, no Go maps, no
+// per-call type assertions — which keeps the paper's compute-bound pipeline
+// (§4) free of synchronization and pointer-chasing costs. Updates construct
+// a replacement snapshot under the engine's write lock and publish it with a
+// single atomic store; readers holding the old snapshot finish against a
+// consistent view.
+
+// ruleMeta is the per-position metadata of one built rule, kept in a flat
+// array indexed by the rule's position in the build-time rule order. It
+// replaces the posID/prioID/live maps on the read path.
+type ruleMeta struct {
+	id   int
+	prio int32
+	live bool
+}
+
+// snapshot is one immutable engine state. Everything reachable from it is
+// either never mutated after publication (fieldLo/fieldHi, isets, adapter
+// tables) or copied before mutation (meta). The remainder classifier is the
+// §3.9 online-update component and keeps its own internal synchronization.
+type snapshot struct {
+	numFields int
+	// meta[pos] is the metadata of built rule pos; deletions publish a copy
+	// with live=false instead of tombstoning the shared model arrays.
+	meta []ruleMeta
+	// fieldLo/fieldHi are the rules' field bounds flattened with stride
+	// numFields: rule pos's range in dimension d is
+	// [fieldLo[pos*numFields+d], fieldHi[pos*numFields+d]]. Built once and
+	// shared by every snapshot (build-time matching sets never change; §3.9
+	// modifications move the rule to the remainder).
+	fieldLo []uint32
+	fieldHi []uint32
+	// isets are the trained RQ-RMI indexes; their payloads are positions
+	// into meta and are never rewritten.
+	isets []isetIndex
+	// rem is the precomputed remainder adapter (no per-lookup type
+	// assertion).
+	rem remainderAdapter
+}
+
+// matches reports whether the packet falls inside built rule pos, reading
+// the flat bound arrays directly.
+func (s *snapshot) matches(pos int, p rules.Packet) bool {
+	base := pos * s.numFields
+	if len(p) < s.numFields {
+		return false
+	}
+	for d := 0; d < s.numFields; d++ {
+		v := p[d]
+		if v < s.fieldLo[base+d] || v > s.fieldHi[base+d] {
+			return false
+		}
+	}
+	return true
+}
+
+// isetCandidate returns the validated candidate of one iSet under the
+// running priority bound.
+func (s *snapshot) isetCandidate(is *isetIndex, p rules.Packet, bestPrio int32) (id int, prio int32, ok bool) {
+	entry, found := is.model.LookupEntry(p[is.field])
+	if !found {
+		return 0, 0, false
+	}
+	pos := is.model.Values()[entry]
+	if pos < 0 {
+		return 0, 0, false
+	}
+	m := &s.meta[pos]
+	if !m.live || m.prio >= bestPrio {
+		return 0, 0, false
+	}
+	if !s.matches(pos, p) {
+		return 0, 0, false
+	}
+	return m.id, m.prio, true
+}
+
+// lookup runs the single-core early-termination flow of §4 against this
+// snapshot.
+func (s *snapshot) lookup(p rules.Packet, bestPrio int32) int {
+	best := rules.NoMatch
+	for i := range s.isets {
+		if id, prio, ok := s.isetCandidate(&s.isets[i], p, bestPrio); ok {
+			best, bestPrio = id, prio
+		}
+	}
+	if id := s.rem.lookupWithBound(p, bestPrio); id >= 0 {
+		return id
+	}
+	return best
+}
+
+// lookupBatch classifies pkts into out using batched RQ-RMI inference: each
+// iSet's model runs stage-by-stage across a whole chunk of packets
+// (rqrmi.LookupEntryBatch), then candidates are validated against the flat
+// metadata, and finally the remainder is queried per packet under the best
+// priority found. Scratch lives in fixed-size stack arrays, so the batch
+// path allocates nothing.
+func (s *snapshot) lookupBatch(pkts []rules.Packet, out []int) {
+	const chunk = rqrmi.BatchChunk
+	var keys [chunk]uint32
+	var ents [chunk]int32
+	var best [chunk]int
+	var bestPrio [chunk]int32
+	for off := 0; off < len(pkts); off += chunk {
+		n := len(pkts) - off
+		if n > chunk {
+			n = chunk
+		}
+		block := pkts[off : off+n]
+		for c := range block {
+			best[c], bestPrio[c] = rules.NoMatch, math.MaxInt32
+		}
+		for i := range s.isets {
+			is := &s.isets[i]
+			for c, p := range block {
+				keys[c] = p[is.field]
+			}
+			is.model.LookupEntryBatch(keys[:n], ents[:n])
+			vals := is.model.Values()
+			for c := range block {
+				ei := ents[c]
+				if ei < 0 {
+					continue
+				}
+				pos := vals[ei]
+				if pos < 0 {
+					continue
+				}
+				m := &s.meta[pos]
+				if !m.live || m.prio >= bestPrio[c] {
+					continue
+				}
+				if !s.matches(pos, block[c]) {
+					continue
+				}
+				best[c], bestPrio[c] = m.id, m.prio
+			}
+		}
+		if s.rem.batch != nil {
+			// One remainder call per chunk: a single lock acquisition and
+			// cache-hot tables serve all n packets.
+			s.rem.batch.LookupBatchWithBound(block, bestPrio[:n], out[off:off+n])
+			for c := range block {
+				if out[off+c] < 0 {
+					out[off+c] = best[c]
+				}
+			}
+		} else {
+			for c, p := range block {
+				if id := s.rem.lookupWithBound(p, bestPrio[c]); id >= 0 {
+					out[off+c] = id
+				} else {
+					out[off+c] = best[c]
+				}
+			}
+		}
+	}
+}
+
+// --- remainder adapter ----------------------------------------------------
+
+// remainderAdapter binds the external remainder classifier into the
+// snapshot with its bound-support resolved once at publish time instead of
+// by a per-call type assertion. It also carries a sorted (id, priority)
+// table of the current remainder rules, so the priority comparisons of the
+// merge paths are binary searches over flat slices instead of map accesses.
+type remainderAdapter struct {
+	bounded rules.BoundedClassifier      // nil when the classifier lacks bounds
+	batch   rules.BatchBoundedClassifier // nil when batched queries are unsupported
+	plain   rules.Classifier
+	ids     []int   // sorted remainder rule IDs
+	prios   []int32 // prios[i] is the priority of ids[i]
+}
+
+// newRemainderAdapter resolves the classifier's capabilities once at
+// publish time. ids/prios are the engine's current (sorted, immutable)
+// remainder table; the write side maintains them copy-on-write so building
+// an adapter is O(1).
+func newRemainderAdapter(c rules.Classifier, ids []int, prios []int32) remainderAdapter {
+	ra := remainderAdapter{plain: c, ids: ids, prios: prios}
+	if bc, ok := c.(rules.BoundedClassifier); ok {
+		ra.bounded = bc
+	}
+	if bb, ok := c.(rules.BatchBoundedClassifier); ok {
+		ra.batch = bb
+	}
+	return ra
+}
+
+// sortedRemainderTable builds the initial (id, priority) table, sorted by
+// ID, from the remainder rule-set.
+func sortedRemainderTable(rr *rules.RuleSet) ([]int, []int32) {
+	order := make([]int, rr.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return rr.Rules[order[a]].ID < rr.Rules[order[b]].ID
+	})
+	ids := make([]int, len(order))
+	prios := make([]int32, len(order))
+	for i, j := range order {
+		ids[i] = rr.Rules[j].ID
+		prios[i] = rr.Rules[j].Priority
+	}
+	return ids, prios
+}
+
+// prioOf returns the priority of remainder rule id via binary search.
+func (ra *remainderAdapter) prioOf(id int) (int32, bool) {
+	lo, hi := 0, len(ra.ids)-1
+	for lo <= hi {
+		mid := int(uint(lo+hi) >> 1)
+		switch {
+		case ra.ids[mid] < id:
+			lo = mid + 1
+		case ra.ids[mid] > id:
+			hi = mid - 1
+		default:
+			return ra.prios[mid], true
+		}
+	}
+	return 0, false
+}
+
+// lookupWithBound queries the remainder under the caller's best priority,
+// returning the winning remainder rule ID or -1 when the remainder cannot
+// beat the bound.
+func (ra *remainderAdapter) lookupWithBound(p rules.Packet, bestPrio int32) int {
+	if ra.bounded != nil {
+		return ra.bounded.LookupWithBound(p, bestPrio)
+	}
+	id := ra.plain.Lookup(p)
+	if id < 0 {
+		return rules.NoMatch
+	}
+	if prio, ok := ra.prioOf(id); ok && prio < bestPrio {
+		return id
+	}
+	return rules.NoMatch
+}
+
+// lookupUnbounded queries the remainder in full (the §4 ablation and the
+// two-core merge), returning the match and its priority.
+func (ra *remainderAdapter) lookupUnbounded(p rules.Packet) (id int, prio int32, ok bool) {
+	id = ra.plain.Lookup(p)
+	if id < 0 {
+		return rules.NoMatch, 0, false
+	}
+	prio, ok = ra.prioOf(id)
+	return id, prio, ok
+}

@@ -3,26 +3,35 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"nuevomatch/internal/rules"
 )
 
-// This file implements the update model of §3.9:
+// This file implements the update model of §3.9 on the write side of the
+// RCU split:
 //
-//   - rule deletion and action changes are served in place (deletions
-//     tombstone the iSet value array; action changes are caller-side since
-//     the engine returns rule IDs);
+//   - rule deletions of iSet-indexed rules are served by publishing a
+//     snapshot whose metadata marks the position dead (copy-on-write of the
+//     flat meta array — the shared RQ-RMI value arrays are never mutated);
 //   - rule additions and matching-set changes always go to the remainder,
-//     which must support fast updates (TupleMerge does);
+//     which must support fast updates (TupleMerge does) and its own
+//     concurrent lookups;
 //   - the remainder therefore grows over time, degrading throughput, and
 //     Rebuild retrains the models over the current live rules — the paper's
 //     periodic retraining.
+//
+// Every update publishes a fresh snapshot with a single atomic store.
+// Readers that loaded the previous snapshot finish against a consistent
+// view; readers arriving after the store see the update. Updates serialize
+// on e.mu, which lookups never touch.
 
 // UpdateStats tracks the drift since the last (re)build.
 type UpdateStats struct {
 	// Inserted counts rules added to the remainder since build.
 	Inserted int
-	// DeletedFromISets counts tombstoned iSet entries.
+	// DeletedFromISets counts iSet rules marked dead in the snapshot
+	// metadata.
 	DeletedFromISets int
 	// DeletedFromRemainder counts deletions served by the remainder.
 	DeletedFromRemainder int
@@ -35,8 +44,8 @@ type UpdateStats struct {
 
 // Updates returns the drift statistics since the last build.
 func (e *Engine) Updates() UpdateStats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.updateStatsLocked()
 }
 
@@ -74,23 +83,57 @@ func (e *Engine) Insert(r rules.Rule) error {
 		return err
 	}
 	e.remainderRules.Add(r)
+	e.insertRemainderEntryLocked(r.ID, r.Priority)
 	e.prioID[r.ID] = r.Priority
 	e.live[r.ID] = true
 	e.ustats.Inserted++
+	e.publishLocked()
 	return nil
 }
 
-// Delete removes a rule by ID. Rules indexed by an RQ-RMI are tombstoned in
-// the model's value array — no retraining — and remainder rules are deleted
-// from the external classifier directly.
+// insertRemainderEntryLocked adds (id, prio) to the sorted remainder table
+// via copy-on-write: published snapshots keep referencing the old arrays.
+func (e *Engine) insertRemainderEntryLocked(id int, prio int32) {
+	i := sort.SearchInts(e.remIDs, id)
+	ids := make([]int, len(e.remIDs)+1)
+	copy(ids, e.remIDs[:i])
+	ids[i] = id
+	copy(ids[i+1:], e.remIDs[i:])
+	prios := make([]int32, len(e.remPrios)+1)
+	copy(prios, e.remPrios[:i])
+	prios[i] = prio
+	copy(prios[i+1:], e.remPrios[i:])
+	e.remIDs, e.remPrios = ids, prios
+}
+
+// removeRemainderEntryLocked removes id from the sorted remainder table via
+// copy-on-write.
+func (e *Engine) removeRemainderEntryLocked(id int) {
+	i := sort.SearchInts(e.remIDs, id)
+	if i >= len(e.remIDs) || e.remIDs[i] != id {
+		return
+	}
+	ids := make([]int, len(e.remIDs)-1)
+	copy(ids, e.remIDs[:i])
+	copy(ids[i:], e.remIDs[i+1:])
+	prios := make([]int32, len(e.remPrios)-1)
+	copy(prios, e.remPrios[:i])
+	copy(prios[i:], e.remPrios[i+1:])
+	e.remIDs, e.remPrios = ids, prios
+}
+
+// Delete removes a rule by ID. Rules indexed by an RQ-RMI are marked dead in
+// a copy of the snapshot metadata — no retraining and no mutation of shared
+// model arrays — and remainder rules are deleted from the external
+// classifier directly.
 func (e *Engine) Delete(id int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.live[id] {
 		return fmt.Errorf("core: no live rule with ID %d", id)
 	}
-	if loc, inModel := e.inISet[id]; inModel {
-		e.isets[loc.iset].model.SetValue(loc.entry, -1)
+	if _, inModel := e.inISet[id]; inModel {
+		e.deleteMetaLocked(e.posID[id])
 		delete(e.inISet, id)
 		e.ustats.DeletedFromISets++
 	} else {
@@ -106,7 +149,18 @@ func (e *Engine) Delete(id int) error {
 	}
 	delete(e.prioID, id)
 	delete(e.live, id)
+	e.publishLocked()
 	return nil
+}
+
+// deleteMetaLocked marks built rule pos dead via copy-on-write: published
+// snapshots keep referencing the old array, so concurrent readers never
+// observe a torn write.
+func (e *Engine) deleteMetaLocked(pos int) {
+	meta := make([]ruleMeta, len(e.meta))
+	copy(meta, e.meta)
+	meta[pos].live = false
+	e.meta = meta
 }
 
 // Modify changes a rule's matching set or priority: per §3.9 this is a
@@ -119,6 +173,7 @@ func (e *Engine) Modify(r rules.Rule) error {
 }
 
 func (e *Engine) removeRemainderRule(id int) {
+	e.removeRemainderEntryLocked(id)
 	rr := e.remainderRules
 	for i := range rr.Rules {
 		if rr.Rules[i].ID == id {
@@ -134,8 +189,8 @@ func (e *Engine) removeRemainderRule(id int) {
 // §3.9) lives on in the remainder with its *new* matching set, and the
 // stale build-time copy must not resurface.
 func (e *Engine) LiveRuleSet() *rules.RuleSet {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := rules.NewRuleSet(e.rs.NumFields)
 	inRemainder := make(map[int]bool, e.remainderRules.Len())
 	for i := range e.remainderRules.Rules {

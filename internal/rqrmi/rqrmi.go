@@ -22,6 +22,7 @@ package rqrmi
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"nuevomatch/internal/rules"
@@ -109,7 +110,63 @@ type Model struct {
 	// submodel j over its responsibility, plus the configured safety slack.
 	errs   []int32
 	maxErr int32
+
+	// flat mirrors the staged submodels in contiguous parameter slices for
+	// batched inference; nil when the hidden width is not uniform (batched
+	// lookups then fall back to the scalar path).
+	flat *flatStages
+	// vals mirrors the entry payloads in a flat slice so lookups touch 8
+	// bytes per candidate instead of a 24-byte Entry. SetValue keeps it in
+	// sync.
+	vals []int
+	// coarse is a presence bitmap over the top 16 bits of the key space
+	// (1024 words, 8KB): bit b is set iff some entry's range intersects
+	// bucket b. A key whose bucket bit is clear lies in a gap between
+	// ranges, so lookups skip inference and search entirely. It
+	// over-approximates coverage, never the reverse.
+	coarse []uint64
 }
+
+// coarseHit reports whether key's bucket may be covered by an entry.
+func (m *Model) coarseHit(key uint32) bool {
+	b := key >> 16
+	return m.coarse[b>>6]&(1<<(b&63)) != 0
+}
+
+// finalize precomputes the flattened parameter mirror and the flat payload
+// array; Train and ReadModel call it once the staged submodels and entries
+// are in place.
+func (m *Model) finalize() {
+	m.flat = flattenStages(m.stages)
+	m.vals = make([]int, len(m.entries))
+	for i := range m.entries {
+		m.vals[i] = m.entries[i].Value
+	}
+	m.coarse = make([]uint64, 1024)
+	for i := range m.entries {
+		b0, b1 := m.los[i]>>16, m.his[i]>>16
+		w0, w1 := b0>>6, b1>>6
+		if w0 == w1 {
+			for b := b0; b <= b1; b++ {
+				m.coarse[w0] |= 1 << (b & 63)
+			}
+			continue
+		}
+		for b := b0; b>>6 == w0; b++ {
+			m.coarse[w0] |= 1 << (b & 63)
+		}
+		for w := w0 + 1; w < w1; w++ {
+			m.coarse[w] = ^uint64(0)
+		}
+		for b := w1 << 6; b <= b1; b++ {
+			m.coarse[w1] |= 1 << (b & 63)
+		}
+	}
+}
+
+// Values returns the flat payload array, indexed like Entries. The slice is
+// shared; callers must not modify it directly (use SetValue).
+func (m *Model) Values() []int { return m.vals }
 
 // Len returns the number of indexed ranges.
 func (m *Model) Len() int { return len(m.entries) }
@@ -148,8 +205,9 @@ func (m *Model) MemoryFootprint() int {
 }
 
 // ValueArrayBytes returns the byte size of the sorted per-field boundary
-// array scanned by the secondary search plus the payload indices.
-func (m *Model) ValueArrayBytes() int { return 12 * len(m.entries) }
+// array scanned by the secondary search plus the payload indices and the
+// coarse gap bitmap.
+func (m *Model) ValueArrayBytes() int { return 12*len(m.entries) + 8*len(m.coarse) }
 
 // route runs the staged inference of §3.1: each stage's prediction selects
 // the submodel of the next stage; the leaf predicts the entry index.
@@ -178,6 +236,9 @@ func (m *Model) LookupEntry(key uint32) (index int, ok bool) {
 	if len(m.entries) == 0 {
 		return 0, false
 	}
+	if m.coarse != nil && !m.coarseHit(key) {
+		return 0, false // provably in a gap between ranges
+	}
 	leaf, pred := m.route(uint64(key))
 	e := int(m.errs[leaf])
 	lo, hi := pred-e, pred+e
@@ -203,9 +264,213 @@ func (m *Model) LookupEntry(key uint32) (index int, ok bool) {
 	return 0, false
 }
 
-// SetValue rewrites the payload at entry position i. NuevoMatch updates use
-// it to tombstone deleted rules without retraining (§3.9).
-func (m *Model) SetValue(i, value int) { m.entries[i].Value = value }
+// BatchChunk is the block size used by LookupEntryBatch: large enough to
+// amortize per-stage overhead and keep many independent loads in flight
+// during the lockstep search, small enough that the per-chunk scratch stays
+// on the stack and the keys stay in L1 across stages.
+const BatchChunk = 128
+
+// quantize mirrors submodel.bucket's clamped floor.
+func quantize(y, fw float64, outW int) int32 {
+	b := int(y * fw)
+	if b < 0 {
+		b = 0
+	} else if b >= outW {
+		b = outW - 1
+	}
+	return int32(b)
+}
+
+// maxGroupWidth bounds the stage width for which the batched path groups
+// keys by submodel; wider stages (possible only in hand-built serialized
+// models) fall back to scattered per-key evaluation.
+const maxGroupWidth = 512
+
+// LookupEntryBatch resolves a batch of keys at once, writing the matched
+// entry position (or -1) for keys[i] into out[i]. Unlike per-key LookupEntry,
+// it runs each RQ-RMI stage across the whole chunk before advancing to the
+// next, grouping the chunk's keys by the submodel that owns them (a counting
+// sort over the previous stage's predictions): every submodel then evaluates
+// its keys with coefficients hoisted out of the key loop, which is the same
+// data-parallel amortization the paper's SIMD kernels exploit (Table 1).
+// Results are bit-identical to LookupEntry. out must have at least len(keys)
+// entries.
+func (m *Model) LookupEntryBatch(keys []uint32, out []int32) {
+	if len(m.entries) == 0 {
+		for i := range keys {
+			out[i] = -1
+		}
+		return
+	}
+	if m.flat == nil {
+		for i, k := range keys {
+			if idx, ok := m.LookupEntry(k); ok {
+				out[i] = int32(idx)
+			} else {
+				out[i] = -1
+			}
+		}
+		return
+	}
+	var x, y, xg, yg [BatchChunk]float64
+	var js, preds, order, act [BatchChunk]int32
+	var akeys [BatchChunk]uint32
+	var cnt [maxGroupWidth + 1]int32
+	f := m.flat
+	last := len(m.stages) - 1
+	for off := 0; off < len(keys); off += BatchChunk {
+		nIn := len(keys) - off
+		if nIn > BatchChunk {
+			nIn = BatchChunk
+		}
+		block := keys[off : off+nIn]
+		// Compact away keys the coarse bitmap proves to be in a gap: the
+		// stages and the search then run only over live lanes.
+		n := 0
+		for c, k := range block {
+			if !m.coarseHit(k) {
+				out[off+c] = -1
+				continue
+			}
+			act[n] = int32(c)
+			akeys[n] = k
+			x[n] = float64(k) * scale
+			js[n] = 0
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		for s := 0; s <= last; s++ {
+			outW := len(m.entries)
+			if s < last {
+				outW = m.widths[s+1]
+			}
+			width := m.widths[s]
+			fw := float64(outW)
+			isLeaf := s == last
+			switch {
+			case width == 1:
+				// Single submodel (always true for stage 0): one hoisted
+				// pass over the whole chunk, quantized like
+				// submodel.bucket.
+				f.evalWide(f.off[s], x[:n], y[:n])
+				if isLeaf {
+					for c := 0; c < n; c++ {
+						preds[c] = quantize(y[c], fw, outW)
+					}
+				} else {
+					for c := 0; c < n; c++ {
+						js[c] = quantize(y[c], fw, outW)
+					}
+				}
+			case width <= maxGroupWidth:
+				// Counting-sort the keys by owning submodel, run the
+				// hoisted kernel per group, scatter the quantized results
+				// back through the permutation.
+				for j := 0; j <= width; j++ {
+					cnt[j] = 0
+				}
+				for c := 0; c < n; c++ {
+					cnt[js[c]+1]++
+				}
+				for j := 0; j < width; j++ {
+					cnt[j+1] += cnt[j]
+				}
+				for c := 0; c < n; c++ {
+					pos := cnt[js[c]]
+					cnt[js[c]] = pos + 1
+					order[pos] = int32(c)
+					xg[pos] = x[c]
+				}
+				start := 0
+				for j := 0; j < width && start < n; j++ {
+					end := int(cnt[j])
+					if end > start {
+						f.evalWide(f.off[s]+j, xg[start:end], yg[start:end])
+						start = end
+					}
+				}
+				if isLeaf {
+					for c := 0; c < n; c++ {
+						preds[order[c]] = quantize(yg[c], fw, outW)
+					}
+				} else {
+					for c := 0; c < n; c++ {
+						js[order[c]] = quantize(yg[c], fw, outW)
+					}
+				}
+			default:
+				if isLeaf {
+					for c := 0; c < n; c++ {
+						preds[c] = quantize(f.evalX(f.off[s]+int(js[c]), x[c]), fw, outW)
+					}
+				} else {
+					for c := 0; c < n; c++ {
+						js[c] = quantize(f.evalX(f.off[s]+int(js[c]), x[c]), fw, outW)
+					}
+				}
+			}
+		}
+		// Secondary search, lockstep and branchless: every round advances
+		// all n searches one binary-search step, so the chunk keeps n
+		// independent loads of the boundary array in flight instead of
+		// walking one dependent chain at a time, and the step itself is a
+		// comparison-to-select with no data-dependent branch. The update is
+		// idempotent once a lane converges (mid collapses to lo), so all
+		// lanes simply run the round count of the widest window. The
+		// lo/hi evolution equals Search's exactly.
+		var lo, hi [BatchChunk]int32
+		maxIdx := int32(len(m.entries) - 1)
+		rounds := 0
+		for c := 0; c < n; c++ {
+			e := m.errs[js[c]]
+			l, h := preds[c]-e, preds[c]+e
+			if l < 0 {
+				l = 0
+			}
+			if h > maxIdx {
+				h = maxIdx
+			}
+			lo[c], hi[c] = l, h
+			if w := int(h - l); w > 0 {
+				if r := bits.Len(uint(w)); r > rounds {
+					rounds = r
+				}
+			}
+		}
+		for ; rounds > 0; rounds-- {
+			for c := 0; c < n; c++ {
+				l, h := lo[c], hi[c]
+				mid := int32(uint32(l+h+1) >> 1)
+				var ge int32
+				if m.los[mid] <= akeys[c] {
+					ge = 1
+				}
+				lo[c] = l + ge*(mid-l)
+				hi[c] = h - (1-ge)*(h-mid+1)
+			}
+		}
+		for c := 0; c < n; c++ {
+			l, k := lo[c], akeys[c]
+			if m.los[l] <= k && k <= m.his[l] {
+				out[off+int(act[c])] = l
+			} else {
+				out[off+int(act[c])] = -1
+			}
+		}
+	}
+}
+
+// SetValue rewrites the payload at entry position i, keeping the flat
+// payload mirror in sync. Not safe against concurrent lookups; NuevoMatch's
+// snapshot engine tracks liveness outside the model instead.
+func (m *Model) SetValue(i, value int) {
+	m.entries[i].Value = value
+	if m.vals != nil {
+		m.vals[i] = value
+	}
+}
 
 // Predict runs only the model inference: the staged routing plus the leaf's
 // index prediction and its guaranteed error bound. Together with Search it

@@ -334,8 +334,9 @@ func TestMemoryFootprint(t *testing.T) {
 	if got := m.MemoryFootprint(); got != want {
 		t.Errorf("MemoryFootprint = %d, want %d", got, want)
 	}
-	if got := m.ValueArrayBytes(); got != 12*len(es) {
-		t.Errorf("ValueArrayBytes = %d, want %d", got, 12*len(es))
+	// Boundary arrays and payloads plus the 8KB coarse gap bitmap.
+	if got := m.ValueArrayBytes(); got != 12*len(es)+8*1024 {
+		t.Errorf("ValueArrayBytes = %d, want %d", got, 12*len(es)+8*1024)
 	}
 }
 

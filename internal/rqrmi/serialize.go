@@ -180,6 +180,7 @@ func ReadModel(r io.Reader) (*Model, error) {
 			}
 		}
 	}
+	m.finalize()
 	return m, nil
 }
 

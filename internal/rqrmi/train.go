@@ -53,6 +53,7 @@ func Train(entries []Entry, cfg Config) (*Model, *TrainStats, error) {
 	}
 	if len(es) == 0 {
 		m.widths = []int{}
+		m.finalize()
 		return m, &TrainStats{Duration: time.Since(start)}, nil
 	}
 
@@ -130,6 +131,7 @@ func Train(entries []Entry, cfg Config) (*Model, *TrainStats, error) {
 	stats.MaxError = int(m.maxErr)
 	stats.MeanError = sum / float64(len(m.errs))
 	stats.Duration = time.Since(start)
+	m.finalize()
 	return m, stats, nil
 }
 

@@ -29,6 +29,20 @@ type BoundedClassifier interface {
 	LookupWithBound(p Packet, bestPrio int32) int
 }
 
+// BatchBoundedClassifier is implemented by classifiers that can serve a
+// whole batch of bounded lookups in one call, amortizing per-lookup costs
+// (lock acquisition, dispatch) across the batch. NuevoMatch's batched hot
+// path uses it to query the remainder once per chunk instead of once per
+// packet.
+type BatchBoundedClassifier interface {
+	BoundedClassifier
+	// LookupBatchWithBound classifies pkts[i] under bounds[i], writing the
+	// winning rule ID (or -1) into out[i]. out and bounds must have at
+	// least len(pkts) entries; bounds is read-only input. Results equal
+	// calling LookupWithBound per packet against the same classifier state.
+	LookupBatchWithBound(pkts []Packet, bounds []int32, out []int)
+}
+
 // Stringer-free sentinel returned by Lookup when nothing matches.
 const NoMatch = -1
 
