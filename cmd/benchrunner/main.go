@@ -6,6 +6,7 @@
 //	benchrunner -exp fig8 -size 10000 -profiles acl1,fw1
 //	benchrunner -exp all -size 500000 -trace 700000   # paper scale
 //	benchrunner -benchjson . -size 10000              # write BENCH_acl1_10000.json
+//	benchrunner -benchjson . -cpuprofile cpu.pprof    # profile the hot paths
 //
 // Every experiment id maps to one table or figure of the evaluation
 // section; see EXPERIMENTS.md for the index and DESIGN.md for the
@@ -19,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"nuevomatch/internal/analysis"
@@ -34,8 +36,23 @@ func main() {
 		stanford = flag.Int("stanford", 20000, "Stanford backbone rule-set size (paper: ~183376)")
 		seed     = flag.Int64("seed", 1, "trace generation seed")
 		benchjs  = flag.String("benchjson", "", "directory to write a BENCH_<name>.json perf artifact into (skips -exp)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *benchjs != "" {
 		profile := "acl1"
@@ -53,12 +70,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", path)
-		fmt.Printf("  lookup:          %12.0f pps  p50 %6.0f ns  p99 %6.0f ns\n",
-			a.Lookup.ThroughputPPS, a.Lookup.P50Nanos, a.Lookup.P99Nanos)
-		fmt.Printf("  lookup_batch:    %12.0f pps  p50 %6.0f ns  p99 %6.0f ns  (%.2fx speedup)\n",
-			a.LookupBatch.ThroughputPPS, a.LookupBatch.P50Nanos, a.LookupBatch.P99Nanos, a.BatchSpeedup)
-		fmt.Printf("  batch_parallel:  %12.0f pps  p50 %6.0f ns  p99 %6.0f ns\n",
-			a.LookupBatchParallel.ThroughputPPS, a.LookupBatchParallel.P50Nanos, a.LookupBatchParallel.P99Nanos)
+		fmt.Printf("  lookup:          %12.0f pps  p50 %6.0f ns  p99 %6.0f ns  %.2f allocs/op\n",
+			a.Lookup.ThroughputPPS, a.Lookup.P50Nanos, a.Lookup.P99Nanos, a.Lookup.AllocsPerOp)
+		fmt.Printf("  lookup_batch:    %12.0f pps  p50 %6.0f ns  p99 %6.0f ns  %.2f allocs/op  (%.2fx speedup)\n",
+			a.LookupBatch.ThroughputPPS, a.LookupBatch.P50Nanos, a.LookupBatch.P99Nanos, a.LookupBatch.AllocsPerOp, a.BatchSpeedup)
+		fmt.Printf("  batch_parallel:  %12.0f pps  p50 %6.0f ns  p99 %6.0f ns  %.2f allocs/op\n",
+			a.LookupBatchParallel.ThroughputPPS, a.LookupBatchParallel.P50Nanos, a.LookupBatchParallel.P99Nanos, a.LookupBatchParallel.AllocsPerOp)
 		fmt.Printf("  memory:          %d B total (%d B iSets + %d B remainder)\n",
 			a.Engine.TotalBytes, a.Engine.ISetBytes, a.Engine.RemainderBytes)
 		return

@@ -49,12 +49,18 @@ type BenchArtifact struct {
 	BatchSpeedup float64 `json:"batch_speedup"`
 }
 
-// BenchPath is the measurement of one lookup entry point.
+// BenchPath is the measurement of one lookup entry point. AllocsPerOp and
+// BytesPerOp are heap allocations per call of the entry point (per packet
+// for the scalar path, per batch for the batched paths), measured after
+// warm-up — the artifact that enforces the zero-alloc hot-path claim across
+// PRs.
 type BenchPath struct {
 	ThroughputPPS float64 `json:"throughput_pps"`
 	P50Nanos      float64 `json:"p50_ns"`
 	P99Nanos      float64 `json:"p99_ns"`
 	BatchSize     int     `json:"batch_size,omitempty"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
 }
 
 // RunBenchArtifact builds the default engine (TupleMerge remainder, paper
@@ -138,7 +144,27 @@ func measureScalar(c rules.Classifier, pkts []rules.Packet) BenchPath {
 		samples = append(samples, float64(time.Since(t0).Nanoseconds()))
 	}
 	out.P50Nanos, out.P99Nanos = percentiles(samples)
+	out.AllocsPerOp, out.BytesPerOp = allocsPerOp(len(pkts), func() {
+		for _, p := range pkts {
+			c.Lookup(p)
+		}
+	})
 	return out
+}
+
+// allocsPerOp reports heap allocations and bytes per operation of run,
+// which performs ops operations. The caller must have warmed the measured
+// path up first so one-time lazy initialization is excluded.
+func allocsPerOp(ops int, run func()) (allocs, bytes float64) {
+	if ops <= 0 {
+		return 0, 0
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	run()
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+		float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops)
 }
 
 // measureBatch measures a batched entry point; latency percentiles are over
@@ -172,6 +198,11 @@ func measureBatch(pkts []rules.Packet, batch int, fn func([]rules.Packet, []int)
 		samples = append(samples, float64(time.Since(t0).Nanoseconds())/float64(batch))
 	}
 	out.P50Nanos, out.P99Nanos = percentiles(samples)
+	out.AllocsPerOp, out.BytesPerOp = allocsPerOp(len(pkts)/batch, func() {
+		for off := 0; off+batch <= len(pkts); off += batch {
+			fn(pkts[off:off+batch], res)
+		}
+	})
 	return out
 }
 

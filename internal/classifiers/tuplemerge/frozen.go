@@ -1,0 +1,277 @@
+package tuplemerge
+
+import (
+	"nuevomatch/internal/classifiers/tuplehash"
+	"nuevomatch/internal/rules"
+)
+
+// This file implements the compiled, immutable form of the classifier. The
+// live Classifier is built for online updates — per-bucket slices behind a
+// bucket index behind an RWMutex — which is the right shape for the write
+// side but the wrong one for a lock-free read path. Freeze flattens the
+// whole table set into a handful of contiguous arrays (struct-of-arrays for
+// the rule bounds) that an RCU-published snapshot can own and scan without
+// locks, maps, pointer chasing, or allocation.
+
+// Frozen is the compiled TupleMerge: every table, bucket and rule packed
+// into flat arrays. It implements rules.FrozenClassifier. Tables keep the
+// live classifier's ascending-bestPrio order and buckets keep their
+// ascending-priority entry order, so the early-termination scans are
+// identical to the live classifier's — only the memory layout differs.
+type Frozen struct {
+	numFields int
+	numTables int
+
+	// Per-table arrays, index ti in [0, numTables). Tuples are flattened
+	// with stride numFields.
+	tLens []uint8  // table ti's tuple is tLens[ti*numFields : (ti+1)*numFields]
+	tPrio []int32  // best (lowest) priority stored in table ti
+	tOcc  []uint64 // 64-bit occupancy filter over hash low bits
+
+	// Per-table open-addressed bucket directory. Table ti's slots are
+	// [tSlotOff[ti], tSlotOff[ti+1]); the slot count is a power of two
+	// sized for <= 1/2 load. A slot is free iff slotLen is zero (frozen
+	// buckets are non-empty by construction), which terminates probes.
+	tSlotOff  []int32
+	slotHash  []uint64
+	slotStart []int32 // offset into entries
+	slotLen   []int32 // 0 marks a free slot
+
+	// entries holds each bucket's rule indices contiguously, ascending by
+	// priority within the bucket.
+	entries []int32
+
+	// Rule storage, struct-of-arrays: priorities and IDs in their own
+	// flat arrays, field bounds flattened with stride numFields.
+	rPrio []int32
+	rID   []int
+	rLo   []uint32
+	rHi   []uint32
+}
+
+var _ rules.FrozenClassifier = (*Frozen)(nil)
+
+// Freeze implements rules.Freezable: it compiles the classifier's current
+// contents under the read lock and returns a detached immutable form.
+// Emptied buckets and emptied tables are dropped during compilation.
+func (c *Classifier) Freeze() rules.FrozenClassifier {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	f := &Frozen{}
+	nRules := len(c.whereIs)
+	if len(c.tables) > 0 {
+		f.numFields = len(c.tables[0].lens)
+	}
+	f.rPrio = make([]int32, 0, nRules)
+	f.rID = make([]int, 0, nRules)
+	f.rLo = make([]uint32, 0, nRules*f.numFields)
+	f.rHi = make([]uint32, 0, nRules*f.numFields)
+	f.tSlotOff = append(f.tSlotOff, 0)
+
+	for _, t := range c.tables {
+		// Collect the table's non-empty buckets.
+		type bucket struct {
+			h uint64
+			b []int32
+		}
+		var buckets []bucket
+		live := 0
+		for i, b := range t.buckets.bs {
+			if b != nil && len(b) > 0 {
+				buckets = append(buckets, bucket{t.buckets.hs[i], b})
+				live += len(b)
+			}
+		}
+		if live == 0 {
+			continue // table emptied by deletions: drop it
+		}
+		ti := f.numTables
+		f.numTables++
+		f.tLens = append(f.tLens, t.lens...)
+		f.tPrio = append(f.tPrio, t.bestPrio)
+		f.tOcc = append(f.tOcc, 0)
+
+		slots := 4
+		for slots < 2*len(buckets) {
+			slots *= 2
+		}
+		base := len(f.slotHash)
+		f.slotHash = append(f.slotHash, make([]uint64, slots)...)
+		f.slotStart = append(f.slotStart, make([]int32, slots)...)
+		f.slotLen = append(f.slotLen, make([]int32, slots)...)
+		f.tSlotOff = append(f.tSlotOff, int32(base+slots))
+
+		mask := uint64(slots - 1)
+		for _, bk := range buckets {
+			f.tOcc[ti] |= 1 << (bk.h & 63)
+			i := bk.h & mask
+			for f.slotLen[base+int(i)] != 0 {
+				i = (i + 1) & mask
+			}
+			f.slotHash[base+int(i)] = bk.h
+			f.slotStart[base+int(i)] = int32(len(f.entries))
+			f.slotLen[base+int(i)] = int32(len(bk.b))
+			for _, pos := range bk.b {
+				r := &c.rules[pos]
+				f.entries = append(f.entries, int32(len(f.rID)))
+				f.rPrio = append(f.rPrio, r.Priority)
+				f.rID = append(f.rID, r.ID)
+				for _, fd := range r.Fields {
+					f.rLo = append(f.rLo, fd.Lo)
+					f.rHi = append(f.rHi, fd.Hi)
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Len implements rules.FrozenClassifier.
+func (f *Frozen) Len() int { return len(f.rID) }
+
+// MemoryFootprint implements rules.FrozenClassifier: the actual byte size
+// of the compiled arrays.
+func (f *Frozen) MemoryFootprint() int {
+	return len(f.tLens) + 12*f.numTables + // tLens + tPrio + tOcc
+		4*len(f.tSlotOff) + 16*len(f.slotHash) + // directory
+		4*len(f.entries) +
+		12*len(f.rID) + // rPrio + rID (8 bytes on 64-bit)
+		4*len(f.rLo) + 4*len(f.rHi)
+}
+
+// skipped reports whether id appears in the sorted skip list. Skip lists
+// are the overlay's deleted-rule IDs and stay tiny (compaction re-freezes
+// past a threshold), and the check runs only on candidate matches, so a
+// branch-free-ish binary search is plenty.
+func skipped(skip []int, id int) bool {
+	lo, hi := 0, len(skip)-1
+	for lo <= hi {
+		mid := int(uint(lo+hi) >> 1)
+		v := skip[mid]
+		if v < id {
+			lo = mid + 1
+		} else if v > id {
+			hi = mid - 1
+		} else {
+			return true
+		}
+	}
+	return false
+}
+
+// matchRule verifies packet p against compiled rule ri with a branch-light
+// lockstep scan over the SoA bounds: one unsigned-subtract range check per
+// field, AND-accumulated so the loop carries no data-dependent branches.
+func (f *Frozen) matchRule(ri int32, p rules.Packet) bool {
+	base := int(ri) * f.numFields
+	in := uint32(1)
+	for d := 0; d < f.numFields; d++ {
+		lo := f.rLo[base+d]
+		hi := f.rHi[base+d]
+		in &= b32(p[d]-lo <= hi-lo) // unsigned trick: lo <= p[d] <= hi
+	}
+	return in != 0
+}
+
+func b32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// scanBucket walks one priority-sorted bucket under the bound, returning
+// the winner (or -1) and the tightened bound.
+func (f *Frozen) scanBucket(start, n int32, p rules.Packet, bestPrio int32, skip []int) (int, int32) {
+	best := rules.NoMatch
+	for _, ri := range f.entries[start : start+n] {
+		if f.rPrio[ri] >= bestPrio {
+			break
+		}
+		if f.matchRule(ri, p) && !skipped(skip, f.rID[ri]) {
+			best = f.rID[ri]
+			bestPrio = f.rPrio[ri]
+		}
+	}
+	return best, bestPrio
+}
+
+// probe finds table ti's bucket for hash h, returning its entries span.
+func (f *Frozen) probe(ti int, h uint64) (start, n int32) {
+	base := f.tSlotOff[ti]
+	mask := uint64(f.tSlotOff[ti+1]-base) - 1
+	for i := h & mask; ; i = (i + 1) & mask {
+		j := base + int32(i)
+		if f.slotLen[j] == 0 {
+			return 0, 0
+		}
+		if f.slotHash[j] == h {
+			return f.slotStart[j], f.slotLen[j]
+		}
+	}
+}
+
+// Lookup implements rules.FrozenClassifier: the live classifier's bounded
+// table walk over the compiled arrays. Zero locks, zero allocation.
+func (f *Frozen) Lookup(p rules.Packet, bestPrio int32, skip []int) int {
+	if len(p) < f.numFields {
+		return rules.NoMatch
+	}
+	best := rules.NoMatch
+	nf := f.numFields
+	for ti := 0; ti < f.numTables; ti++ {
+		if f.tPrio[ti] >= bestPrio {
+			break // tables ascend by best priority: nothing can win
+		}
+		h := tuplehash.HashPacket(p, f.tLens[ti*nf:ti*nf+nf])
+		if f.tOcc[ti]&(1<<(h&63)) == 0 {
+			continue // definite miss: skip the directory probe
+		}
+		start, n := f.probe(ti, h)
+		if n == 0 {
+			continue
+		}
+		if id, prio := f.scanBucket(start, n, p, bestPrio, skip); id >= 0 {
+			best, bestPrio = id, prio
+		}
+	}
+	return best
+}
+
+// LookupBatch implements rules.FrozenClassifier table-major: each table is
+// hashed and probed for every still-improvable packet before moving to the
+// next, so a chunk shares the table's tuple and directory while they are
+// cache-hot. The tables' ascending-priority order gives a whole-batch early
+// exit: once no packet's bound exceeds the table's best priority, no later
+// table can improve anything.
+func (f *Frozen) LookupBatch(pkts []rules.Packet, bounds []int32, skip []int, out []int) {
+	nf := f.numFields
+	for ti := 0; ti < f.numTables; ti++ {
+		tp := f.tPrio[ti]
+		lens := f.tLens[ti*nf : ti*nf+nf]
+		occ := f.tOcc[ti]
+		improvable := false
+		for c, p := range pkts {
+			if tp >= bounds[c] || len(p) < nf {
+				continue
+			}
+			improvable = true
+			h := tuplehash.HashPacket(p, lens)
+			if occ&(1<<(h&63)) == 0 {
+				continue
+			}
+			start, n := f.probe(ti, h)
+			if n == 0 {
+				continue
+			}
+			if id, prio := f.scanBucket(start, n, p, bounds[c], skip); id >= 0 {
+				out[c] = id
+				bounds[c] = prio
+			}
+		}
+		if !improvable {
+			break
+		}
+	}
+}

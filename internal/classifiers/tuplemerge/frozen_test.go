@@ -1,0 +1,221 @@
+package tuplemerge
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"nuevomatch/internal/rules"
+)
+
+func randomRuleSet(rng *rand.Rand, n int) *rules.RuleSet {
+	rs := rules.NewRuleSet(5)
+	for i := 0; i < n; i++ {
+		rs.AddAuto(
+			rules.PrefixRange(rng.Uint32(), rng.Intn(33)),
+			rules.PrefixRange(rng.Uint32(), rng.Intn(33)),
+			rules.Range{Lo: 0, Hi: 65535},
+			rules.ExactRange(uint32(rng.Intn(1000))),
+			rules.ExactRange(uint32(rng.Intn(3))),
+		)
+	}
+	return rs
+}
+
+func randomPacket(rng *rand.Rand, rs *rules.RuleSet) rules.Packet {
+	p := make(rules.Packet, 5)
+	if rng.Intn(2) == 0 && rs.Len() > 0 {
+		r := &rs.Rules[rng.Intn(rs.Len())]
+		for d, f := range r.Fields {
+			span := uint64(f.Hi) - uint64(f.Lo)
+			p[d] = f.Lo + uint32(rng.Int63n(int64(span+1)))
+		}
+	} else {
+		for d := range p {
+			p[d] = rng.Uint32()
+		}
+	}
+	return p
+}
+
+// TestFrozenAgreesWithLive freezes a classifier and checks that the
+// compiled form answers exactly like the live one, across random bounds.
+func TestFrozenAgreesWithLive(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	rs := randomRuleSet(rng, 800)
+	c := New(rs, DefaultConfig())
+	f := c.Freeze()
+	if f.Len() != c.Len() {
+		t.Fatalf("frozen Len = %d, live Len = %d", f.Len(), c.Len())
+	}
+	if f.MemoryFootprint() <= 0 {
+		t.Fatal("frozen MemoryFootprint must be positive")
+	}
+	for i := 0; i < 4000; i++ {
+		p := randomPacket(rng, rs)
+		bound := int32(math.MaxInt32)
+		if rng.Intn(3) == 0 {
+			bound = int32(rng.Intn(rs.Len() + 1))
+		}
+		got := f.Lookup(p, bound, nil)
+		want := c.LookupWithBound(p, bound)
+		if got != want {
+			t.Fatalf("packet %v bound %d: frozen %d, live %d", p, bound, got, want)
+		}
+	}
+}
+
+// TestFrozenSkipMasksDeletedRules checks that the sorted skip list makes
+// the frozen form answer exactly like a live classifier with those rules
+// actually deleted — including surfacing buried lower-priority matches.
+func TestFrozenSkipMasksDeletedRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	rs := randomRuleSet(rng, 600)
+	c := New(rs, DefaultConfig())
+	f := c.Freeze()
+
+	skip := make([]int, 0, 60)
+	for i := 0; i < 60; i++ {
+		id := rs.Rules[rng.Intn(rs.Len())].ID
+		at := sort.SearchInts(skip, id)
+		if at < len(skip) && skip[at] == id {
+			continue
+		}
+		skip = append(skip, 0)
+		copy(skip[at+1:], skip[at:])
+		skip[at] = id
+		if err := c.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4000; i++ {
+		p := randomPacket(rng, rs)
+		got := f.Lookup(p, math.MaxInt32, skip)
+		want := c.Lookup(p)
+		if got != want {
+			t.Fatalf("packet %v: frozen+skip %d, live-after-delete %d", p, got, want)
+		}
+	}
+}
+
+// TestFrozenIsDetached verifies Freeze snapshots the contents: updates to
+// the live classifier after the freeze must not leak into the frozen form.
+func TestFrozenIsDetached(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	rs := randomRuleSet(rng, 200)
+	c := New(rs, DefaultConfig())
+	f := c.Freeze()
+
+	pkts := make([]rules.Packet, 500)
+	want := make([]int, len(pkts))
+	for i := range pkts {
+		pkts[i] = randomPacket(rng, rs)
+		want[i] = c.Lookup(pkts[i])
+	}
+	// Churn the live classifier.
+	for i := 0; i < 100; i++ {
+		_ = c.Delete(rs.Rules[i].ID)
+	}
+	wild := rules.Rule{ID: 999999, Priority: -1, Fields: []rules.Range{
+		rules.FullRange(), rules.FullRange(), rules.FullRange(),
+		rules.FullRange(), rules.FullRange(),
+	}}
+	if err := c.Insert(wild); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pkts {
+		if got := f.Lookup(p, math.MaxInt32, nil); got != want[i] {
+			t.Fatalf("frozen answer changed after live churn: %d != %d", got, want[i])
+		}
+	}
+}
+
+// TestFrozenBatchAgreesWithScalar cross-checks the table-major batch walk
+// against per-packet frozen lookups, including the in-place bounds
+// tightening and untouched-entry contract.
+func TestFrozenBatchAgreesWithScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	rs := randomRuleSet(rng, 700)
+	c := New(rs, DefaultConfig())
+	f := c.Freeze()
+
+	var skip []int
+	for i := 0; i < 20; i++ {
+		id := rs.Rules[rng.Intn(rs.Len())].ID
+		at := sort.SearchInts(skip, id)
+		if at < len(skip) && skip[at] == id {
+			continue
+		}
+		skip = append(skip, 0)
+		copy(skip[at+1:], skip[at:])
+		skip[at] = id
+	}
+
+	const batch = 128
+	pkts := make([]rules.Packet, batch)
+	bounds := make([]int32, batch)
+	scalarBounds := make([]int32, batch)
+	out := make([]int, batch)
+	for round := 0; round < 30; round++ {
+		for i := range pkts {
+			pkts[i] = randomPacket(rng, rs)
+			bounds[i] = int32(math.MaxInt32)
+			if rng.Intn(4) == 0 {
+				bounds[i] = int32(rng.Intn(rs.Len() + 1))
+			}
+			scalarBounds[i] = bounds[i]
+			out[i] = -7 // sentinel: untouched unless improved
+		}
+		f.LookupBatch(pkts, bounds, skip, out)
+		for i, p := range pkts {
+			want := f.Lookup(p, scalarBounds[i], skip)
+			if want < 0 {
+				if out[i] != -7 {
+					t.Fatalf("round %d pkt %d: batch wrote %d where scalar found nothing", round, i, out[i])
+				}
+				if bounds[i] != scalarBounds[i] {
+					t.Fatalf("round %d pkt %d: bounds changed without a match", round, i)
+				}
+			} else if out[i] != want {
+				t.Fatalf("round %d pkt %d: batch %d, scalar %d", round, i, out[i], want)
+			}
+		}
+	}
+}
+
+// TestFrozenEmpty covers the degenerate frozen forms.
+func TestFrozenEmpty(t *testing.T) {
+	c := New(rules.NewRuleSet(5), DefaultConfig())
+	f := c.Freeze()
+	if f.Len() != 0 {
+		t.Fatalf("empty frozen Len = %d", f.Len())
+	}
+	p := rules.Packet{1, 2, 3, 4, 5}
+	if got := f.Lookup(p, math.MaxInt32, nil); got != rules.NoMatch {
+		t.Fatalf("empty frozen Lookup = %d", got)
+	}
+	out := []int{-7}
+	bounds := []int32{math.MaxInt32}
+	f.LookupBatch([]rules.Packet{p}, bounds, nil, out)
+	if out[0] != -7 {
+		t.Fatalf("empty frozen LookupBatch wrote %d", out[0])
+	}
+
+	// Freeze after deleting everything: tables are emptied and dropped.
+	rng := rand.New(rand.NewSource(75))
+	rs := randomRuleSet(rng, 50)
+	c2 := New(rs, DefaultConfig())
+	for i := range rs.Rules {
+		if err := c2.Delete(rs.Rules[i].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f2 := c2.Freeze()
+	if f2.Len() != 0 {
+		t.Fatalf("emptied frozen Len = %d", f2.Len())
+	}
+	if got := f2.Lookup(p, math.MaxInt32, nil); got != rules.NoMatch {
+		t.Fatalf("emptied frozen Lookup = %d", got)
+	}
+}

@@ -164,6 +164,7 @@ var (
 	_ rules.BoundedClassifier      = (*Classifier)(nil)
 	_ rules.BatchBoundedClassifier = (*Classifier)(nil)
 	_ rules.Updatable              = (*Classifier)(nil)
+	_ rules.Freezable              = (*Classifier)(nil)
 )
 
 // New builds a TupleMerge classifier over a snapshot of rs.

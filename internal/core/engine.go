@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,10 +45,12 @@ type Options struct {
 	// iSet to decorrelate models.
 	RQRMI rqrmi.Config
 	// Remainder builds the external classifier; nil means TupleMerge with
-	// the paper's settings. When the engine serves lookups concurrently
-	// with Insert/Delete, the classifier must support its own concurrent
-	// Lookup racing its own updates (TupleMerge does: it is the §3.9
-	// online-update component and keeps internal synchronization).
+	// the paper's settings. A rules.Freezable classifier (TupleMerge is) is
+	// compiled into each published snapshot and served lock-free with a
+	// delta overlay for online updates. A non-freezable classifier is
+	// called live instead; if the engine then serves lookups concurrently
+	// with Insert/Delete, it must support its own concurrent Lookup racing
+	// its own updates.
 	Remainder rules.Builder
 	// ISetFields optionally restricts which fields may carry iSets.
 	ISetFields []int
@@ -138,11 +141,22 @@ type Engine struct {
 
 	remainder      rules.Classifier
 	remainderRules *rules.RuleSet // current remainder content (for rebuild/stats)
+	// remFrozen is the compiled form of the remainder (nil when the
+	// classifier is not rules.Freezable) and remOverlay the immutable delta
+	// of updates since that freeze; published snapshots share both, so they
+	// are maintained copy-on-write and re-frozen past the compaction
+	// threshold (overlay.go).
+	remFrozen  rules.FrozenClassifier
+	remOverlay *remOverlay
 	// remIDs/remPrios are the remainder's (id, priority) table sorted by
 	// ID, shared with published snapshots and therefore maintained
 	// copy-on-write (updates.go).
 	remIDs   []int
 	remPrios []int32
+
+	// parPool holds reusable iSet-inference workers for LookupBatchParallel
+	// so repeated calls reuse goroutines and buffers instead of spawning.
+	parPool chan *parWorker
 
 	stats  BuildStats
 	ustats UpdateStats
@@ -225,8 +239,24 @@ func Build(rs *rules.RuleSet, opts Options) (*Engine, error) {
 	}
 	e.remainder = rem
 	e.remIDs, e.remPrios = sortedRemainderTable(e.remainderRules)
+	e.refreezeRemainderLocked()
+	e.parPool = make(chan *parWorker, 2)
 	e.publishLocked()
 	return e, nil
+}
+
+// refreezeRemainderLocked compiles the remainder's current contents into a
+// fresh frozen form and resets the overlay to empty. Called at build time
+// and whenever the overlay outgrows the compaction threshold. Non-freezable
+// remainders leave both nil and the snapshot falls back to calling the live
+// classifier.
+func (e *Engine) refreezeRemainderLocked() {
+	if fz, ok := e.remainder.(rules.Freezable); ok {
+		e.remFrozen = fz.Freeze()
+		e.remOverlay = &remOverlay{numFields: e.rs.NumFields}
+	} else {
+		e.remFrozen, e.remOverlay = nil, nil
+	}
 }
 
 // flattenRules packs the built rules' metadata and field bounds into the
@@ -266,7 +296,7 @@ func (e *Engine) publishLocked() {
 		fieldLo:   e.fieldLo,
 		fieldHi:   e.fieldHi,
 		isets:     e.isets,
-		rem:       newRemainderAdapter(e.remainder, e.remIDs, e.remPrios),
+		rem:       newRemainderAdapter(e.remainder, e.remFrozen, e.remOverlay, e.remIDs, e.remPrios),
 	}
 	e.snap.Store(s)
 }
@@ -330,80 +360,138 @@ func (e *Engine) LookupNoEarlyTermination(p rules.Packet) int {
 	return best
 }
 
+// parWorker is a reusable iSet-inference worker: one long-lived goroutine
+// fed jobs through job, signalling completion on done, with persistent
+// result buffers so steady-state LookupBatchParallel calls spawn no
+// goroutines and allocate nothing.
+type parWorker struct {
+	job  chan parJob
+	done chan struct{}
+	// best/prio hold the last job's per-packet iSet candidates.
+	best []int
+	prio []int32
+}
+
+type parJob struct {
+	s    *snapshot
+	pkts []rules.Packet
+}
+
+func (w *parWorker) loop() {
+	for j := range w.job {
+		w.serve(j)
+		// Drop the snapshot and packet references before parking: an idle
+		// pooled worker must not pin a retired snapshot (models, frozen
+		// remainder) or the caller's packet slice.
+		j.s, j.pkts = nil, nil
+		w.done <- struct{}{}
+	}
+}
+
+// serve runs the iSet half of the §5.1 split over the job's packets using
+// the shared chunked inference of snapshot.isetChunk.
+func (w *parWorker) serve(j parJob) {
+	if cap(w.best) < len(j.pkts) {
+		w.best = make([]int, len(j.pkts))
+		w.prio = make([]int32, len(j.pkts))
+	}
+	w.best = w.best[:len(j.pkts)]
+	w.prio = w.prio[:len(j.pkts)]
+	var keys [rqrmi.BatchChunk]uint32
+	var ents [rqrmi.BatchChunk]int32
+	for off := 0; off < len(j.pkts); off += rqrmi.BatchChunk {
+		n := len(j.pkts) - off
+		if n > rqrmi.BatchChunk {
+			n = rqrmi.BatchChunk
+		}
+		j.s.isetChunk(j.pkts[off:off+n], &keys, &ents, w.best[off:off+n], w.prio[off:off+n])
+	}
+}
+
+// grabParWorker takes a pooled worker or starts a fresh one when the pool
+// is empty (concurrent callers each get their own).
+func (e *Engine) grabParWorker() *parWorker {
+	select {
+	case w := <-e.parPool:
+		return w
+	default:
+		w := &parWorker{job: make(chan parJob), done: make(chan struct{})}
+		go w.loop()
+		return w
+	}
+}
+
+// releaseParWorker returns a worker to the pool; surplus workers beyond the
+// pool's capacity exit instead of lingering.
+func (e *Engine) releaseParWorker(w *parWorker) {
+	select {
+	case e.parPool <- w:
+	default:
+		close(w.job)
+	}
+}
+
+// Close releases the engine's pooled background workers. The engine stays
+// usable — a later LookupBatchParallel simply spawns fresh workers — but
+// callers retiring an engine (e.g. swapping in the result of Rebuild)
+// should Close it so its idle worker goroutines exit instead of lingering
+// for the process lifetime. Safe to call multiple times; must not race
+// in-flight LookupBatchParallel calls on the same engine.
+func (e *Engine) Close() {
+	for {
+		select {
+		case w := <-e.parPool:
+			close(w.job)
+		default:
+			return
+		}
+	}
+}
+
 // LookupBatchParallel classifies a batch with the two-worker split of the
-// paper's multi-core configuration (§5.1): one worker runs all RQ-RMI iSets
-// (batched), the other runs the remainder classifier, and results merge by
-// priority. Early termination does not apply — the workers race (§4
-// "Parallelization"). out must have len(pkts) entries.
+// paper's multi-core configuration (§5.1): a pooled worker goroutine runs
+// all RQ-RMI iSets (batched) while the calling goroutine runs the remainder
+// (lock-free against the frozen form), and results merge by priority. Early
+// termination does not apply — the workers race (§4 "Parallelization"). On
+// a single-CPU process (GOMAXPROCS < 2) the split cannot help — the two
+// workers would time-slice one core and pay the handoff on top — so the
+// call degrades to the serial batched path. out must have len(pkts)
+// entries.
 func (e *Engine) LookupBatchParallel(pkts []rules.Packet, out []int) {
 	s := e.snapshot()
-	type cand struct {
-		id   int
-		prio int32
+	if runtime.GOMAXPROCS(0) < 2 {
+		s.lookupBatch(pkts, out)
+		return
 	}
-	isetRes := make([]cand, len(pkts))
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		const chunk = rqrmi.BatchChunk
-		var keys [chunk]uint32
-		var ents [chunk]int32
-		for off := 0; off < len(pkts); off += chunk {
-			n := len(pkts) - off
-			if n > chunk {
-				n = chunk
-			}
-			block := pkts[off : off+n]
-			for c := range block {
-				isetRes[off+c] = cand{rules.NoMatch, math.MaxInt32}
-			}
-			for i := range s.isets {
-				is := &s.isets[i]
-				for c, p := range block {
-					keys[c] = p[is.field]
-				}
-				is.model.LookupEntryBatch(keys[:n], ents[:n])
-				vals := is.model.Values()
-				for c := range block {
-					ei := ents[c]
-					if ei < 0 {
-						continue
-					}
-					pos := vals[ei]
-					if pos < 0 {
-						continue
-					}
-					m := &s.meta[pos]
-					if !m.live || m.prio >= isetRes[off+c].prio {
-						continue
-					}
-					if !s.matches(pos, block[c]) {
-						continue
-					}
-					isetRes[off+c] = cand{m.id, m.prio}
-				}
-			}
+	w := e.grabParWorker()
+	w.job <- parJob{s: s, pkts: pkts}
+	// Remainder half, chunked through the frozen table-major walk (pooled
+	// scratch carries the unbounded per-packet bounds).
+	scr := batchScratchPool.Get().(*batchScratch)
+	for off := 0; off < len(pkts); off += rqrmi.BatchChunk {
+		n := len(pkts) - off
+		if n > rqrmi.BatchChunk {
+			n = rqrmi.BatchChunk
 		}
-	}()
-	for pi, p := range pkts {
-		out[pi] = s.rem.plain.Lookup(p)
+		s.rem.lookupUnboundedBatch(pkts[off:off+n], scr.bestPrio[:n], out[off:off+n])
 	}
-	wg.Wait()
+	batchScratchPool.Put(scr)
+	<-w.done
 	for pi := range pkts {
 		remID := out[pi]
-		ir := isetRes[pi]
+		isetID := w.best[pi]
 		switch {
 		case remID < 0:
-			out[pi] = ir.id
-		case ir.id < 0:
+			out[pi] = isetID
+		case isetID < 0:
 			// keep remainder result
 		default:
-			if prio, ok := s.rem.prioOf(remID); !ok || prio >= ir.prio {
-				out[pi] = ir.id
+			if prio, ok := s.rem.prioOf(remID); !ok || prio >= w.prio[pi] {
+				out[pi] = isetID
 			}
 		}
 	}
+	e.releaseParWorker(w)
 }
 
 // MemoryFootprint implements rules.Classifier: RQ-RMI model bytes plus the

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build; the
+// zero-allocation guarantees are asserted only without it (instrumentation
+// may allocate on paths the production build does not).
+const raceEnabled = true

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"nuevomatch/internal/rqrmi"
 	"nuevomatch/internal/rules"
@@ -27,9 +28,11 @@ type ruleMeta struct {
 }
 
 // snapshot is one immutable engine state. Everything reachable from it is
-// either never mutated after publication (fieldLo/fieldHi, isets, adapter
-// tables) or copied before mutation (meta). The remainder classifier is the
-// §3.9 online-update component and keeps its own internal synchronization.
+// either never mutated after publication (fieldLo/fieldHi, isets, the
+// frozen remainder and its overlay, adapter tables) or copied before
+// mutation (meta). The §3.9 online-update remainder is served by the
+// compiled frozen form plus the update overlay, so steady-state lookups
+// never touch the live classifier's synchronization.
 type snapshot struct {
 	numFields int
 	// meta[pos] is the metadata of built rule pos; deletions publish a copy
@@ -102,54 +105,87 @@ func (s *snapshot) lookup(p rules.Packet, bestPrio int32) int {
 	return best
 }
 
+// batchScratch is the fixed-size per-chunk scratch of lookupBatch. It is
+// pooled rather than stack-allocated because slices of it cross the
+// rules.FrozenClassifier interface boundary, which makes escape analysis
+// heap-move a stack array and cost one allocation per call; a pool hit
+// costs nothing after warm-up, keeping the batch path zero-alloc.
+type batchScratch struct {
+	keys     [rqrmi.BatchChunk]uint32
+	ents     [rqrmi.BatchChunk]int32
+	best     [rqrmi.BatchChunk]int
+	bestPrio [rqrmi.BatchChunk]int32
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// isetChunk runs every iSet's batched RQ-RMI inference over one chunk of at
+// most rqrmi.BatchChunk packets, writing each packet's best validated
+// candidate into best/bestPrio (len(block) entries each). It is the shared
+// iSet half of lookupBatch and the §5.1 parallel split.
+func (s *snapshot) isetChunk(block []rules.Packet, keys *[rqrmi.BatchChunk]uint32, ents *[rqrmi.BatchChunk]int32, best []int, bestPrio []int32) {
+	n := len(block)
+	for c := range block {
+		best[c], bestPrio[c] = rules.NoMatch, math.MaxInt32
+	}
+	for i := range s.isets {
+		is := &s.isets[i]
+		for c, p := range block {
+			keys[c] = p[is.field]
+		}
+		is.model.LookupEntryBatch(keys[:n], ents[:n])
+		vals := is.model.Values()
+		for c := range block {
+			ei := ents[c]
+			if ei < 0 {
+				continue
+			}
+			pos := vals[ei]
+			if pos < 0 {
+				continue
+			}
+			m := &s.meta[pos]
+			if !m.live || m.prio >= bestPrio[c] {
+				continue
+			}
+			if !s.matches(pos, block[c]) {
+				continue
+			}
+			best[c], bestPrio[c] = m.id, m.prio
+		}
+	}
+}
+
 // lookupBatch classifies pkts into out using batched RQ-RMI inference: each
 // iSet's model runs stage-by-stage across a whole chunk of packets
 // (rqrmi.LookupEntryBatch), then candidates are validated against the flat
-// metadata, and finally the remainder is queried per packet under the best
-// priority found. Scratch lives in fixed-size stack arrays, so the batch
-// path allocates nothing.
+// metadata, and finally the remainder is queried per chunk under the best
+// priorities found. Scratch comes from a pool, so the batch path allocates
+// nothing in steady state.
 func (s *snapshot) lookupBatch(pkts []rules.Packet, out []int) {
 	const chunk = rqrmi.BatchChunk
-	var keys [chunk]uint32
-	var ents [chunk]int32
-	var best [chunk]int
-	var bestPrio [chunk]int32
+	scr := batchScratchPool.Get().(*batchScratch)
+	keys := &scr.keys
+	ents := &scr.ents
+	best := &scr.best
+	bestPrio := &scr.bestPrio
 	for off := 0; off < len(pkts); off += chunk {
 		n := len(pkts) - off
 		if n > chunk {
 			n = chunk
 		}
 		block := pkts[off : off+n]
-		for c := range block {
-			best[c], bestPrio[c] = rules.NoMatch, math.MaxInt32
-		}
-		for i := range s.isets {
-			is := &s.isets[i]
-			for c, p := range block {
-				keys[c] = p[is.field]
-			}
-			is.model.LookupEntryBatch(keys[:n], ents[:n])
-			vals := is.model.Values()
+		s.isetChunk(block, keys, ents, best[:n], bestPrio[:n])
+		if s.rem.frozen != nil {
+			// Frozen path: pre-fill with the iSet winners, then let the
+			// overlay scan and the compiled table-major batch walk improve
+			// them in place. No locks, no allocation.
 			for c := range block {
-				ei := ents[c]
-				if ei < 0 {
-					continue
-				}
-				pos := vals[ei]
-				if pos < 0 {
-					continue
-				}
-				m := &s.meta[pos]
-				if !m.live || m.prio >= bestPrio[c] {
-					continue
-				}
-				if !s.matches(pos, block[c]) {
-					continue
-				}
-				best[c], bestPrio[c] = m.id, m.prio
+				out[off+c] = best[c]
 			}
-		}
-		if s.rem.batch != nil {
+			s.rem.overlay.scanBatch(block, bestPrio[:n], out[off:off+n])
+			s.rem.frozen.LookupBatch(block, bestPrio[:n], s.rem.overlay.del, out[off:off+n])
+		} else if s.rem.batch != nil {
 			// One remainder call per chunk: a single lock acquisition and
 			// cache-hot tables serve all n packets.
 			s.rem.batch.LookupBatchWithBound(block, bestPrio[:n], out[off:off+n])
@@ -168,16 +204,25 @@ func (s *snapshot) lookupBatch(pkts []rules.Packet, out []int) {
 			}
 		}
 	}
+	batchScratchPool.Put(scr)
 }
 
 // --- remainder adapter ----------------------------------------------------
 
 // remainderAdapter binds the external remainder classifier into the
-// snapshot with its bound-support resolved once at publish time instead of
-// by a per-call type assertion. It also carries a sorted (id, priority)
-// table of the current remainder rules, so the priority comparisons of the
-// merge paths are binary searches over flat slices instead of map accesses.
+// snapshot. When the classifier is rules.Freezable (TupleMerge is), the
+// adapter carries the compiled frozen form plus the immutable update
+// overlay, and the whole remainder query runs lock-free against flat
+// arrays: overlay additions are scanned in priority order, frozen tables
+// are walked with deleted rules masked by the overlay's sorted skip list.
+// Otherwise it falls back to calling the live classifier with its
+// bound-support resolved once at publish time instead of by a per-call type
+// assertion. It also carries a sorted (id, priority) table of the current
+// remainder rules, so the priority comparisons of the merge paths are
+// binary searches over flat slices instead of map accesses.
 type remainderAdapter struct {
+	frozen  rules.FrozenClassifier       // non-nil: compiled lock-free path
+	overlay *remOverlay                  // updates since the freeze; non-nil iff frozen is
 	bounded rules.BoundedClassifier      // nil when the classifier lacks bounds
 	batch   rules.BatchBoundedClassifier // nil when batched queries are unsupported
 	plain   rules.Classifier
@@ -186,11 +231,13 @@ type remainderAdapter struct {
 }
 
 // newRemainderAdapter resolves the classifier's capabilities once at
-// publish time. ids/prios are the engine's current (sorted, immutable)
-// remainder table; the write side maintains them copy-on-write so building
-// an adapter is O(1).
-func newRemainderAdapter(c rules.Classifier, ids []int, prios []int32) remainderAdapter {
-	ra := remainderAdapter{plain: c, ids: ids, prios: prios}
+// publish time. frozen/overlay are the write side's current compiled
+// remainder and its delta (nil for non-freezable classifiers); ids/prios
+// are the engine's current (sorted, immutable) remainder table. All are
+// maintained copy-on-write by the write side so building an adapter is
+// O(1).
+func newRemainderAdapter(c rules.Classifier, frozen rules.FrozenClassifier, overlay *remOverlay, ids []int, prios []int32) remainderAdapter {
+	ra := remainderAdapter{plain: c, frozen: frozen, overlay: overlay, ids: ids, prios: prios}
 	if bc, ok := c.(rules.BoundedClassifier); ok {
 		ra.bounded = bc
 	}
@@ -240,6 +287,19 @@ func (ra *remainderAdapter) prioOf(id int) (int32, bool) {
 // returning the winning remainder rule ID or -1 when the remainder cannot
 // beat the bound.
 func (ra *remainderAdapter) lookupWithBound(p rules.Packet, bestPrio int32) int {
+	if ra.frozen != nil {
+		// Lock-free path: the overlay's priority-sorted additions tighten
+		// the bound before the compiled table walk, so a high-priority
+		// insert short-circuits most of the frozen scan.
+		best := rules.NoMatch
+		if id, prio := ra.overlay.scan(p, bestPrio); id >= 0 {
+			best, bestPrio = id, prio
+		}
+		if id := ra.frozen.Lookup(p, bestPrio, ra.overlay.del); id >= 0 {
+			best = id
+		}
+		return best
+	}
 	if ra.bounded != nil {
 		return ra.bounded.LookupWithBound(p, bestPrio)
 	}
@@ -253,10 +313,38 @@ func (ra *remainderAdapter) lookupWithBound(p rules.Packet, bestPrio int32) int 
 	return rules.NoMatch
 }
 
+// lookupUnboundedID returns the remainder's unbounded winner ID, lock-free
+// on the frozen path.
+func (ra *remainderAdapter) lookupUnboundedID(p rules.Packet) int {
+	if ra.frozen != nil {
+		return ra.lookupWithBound(p, math.MaxInt32)
+	}
+	return ra.plain.Lookup(p)
+}
+
+// lookupUnboundedBatch fills out[i] with the remainder's unbounded winner
+// (or -1) for pkts[i], using the table-major frozen walk when available so
+// each table's tuple and directory stay cache-hot across the chunk. bounds
+// is caller-owned scratch of at least len(pkts) entries.
+func (ra *remainderAdapter) lookupUnboundedBatch(pkts []rules.Packet, bounds []int32, out []int) {
+	if ra.frozen == nil {
+		for i, p := range pkts {
+			out[i] = ra.plain.Lookup(p)
+		}
+		return
+	}
+	for i := range pkts {
+		out[i] = rules.NoMatch
+		bounds[i] = math.MaxInt32
+	}
+	ra.overlay.scanBatch(pkts, bounds, out)
+	ra.frozen.LookupBatch(pkts, bounds, ra.overlay.del, out)
+}
+
 // lookupUnbounded queries the remainder in full (the §4 ablation and the
 // two-core merge), returning the match and its priority.
 func (ra *remainderAdapter) lookupUnbounded(p rules.Packet) (id int, prio int32, ok bool) {
-	id = ra.plain.Lookup(p)
+	id = ra.lookupUnboundedID(p)
 	if id < 0 {
 		return rules.NoMatch, 0, false
 	}

@@ -35,6 +35,9 @@ type UpdateStats struct {
 	DeletedFromISets int
 	// DeletedFromRemainder counts deletions served by the remainder.
 	DeletedFromRemainder int
+	// OverlayCompactions counts how many times the remainder overlay was
+	// folded back into a fresh frozen form.
+	OverlayCompactions int
 	// LiveRules is the current number of live rules.
 	LiveRules int
 	// RemainderFraction is the fraction of live rules not indexed by
@@ -84,11 +87,27 @@ func (e *Engine) Insert(r rules.Rule) error {
 	}
 	e.remainderRules.Add(r)
 	e.insertRemainderEntryLocked(r.ID, r.Priority)
+	if e.remOverlay != nil {
+		e.remOverlay = e.remOverlay.withAdd(r)
+		e.maybeCompactOverlayLocked()
+	}
 	e.prioID[r.ID] = r.Priority
 	e.live[r.ID] = true
 	e.ustats.Inserted++
 	e.publishLocked()
 	return nil
+}
+
+// maybeCompactOverlayLocked re-freezes the remainder once the overlay delta
+// outgrows the threshold, folding additions into the compiled tables and
+// retiring the deletion skip list. Amortized cost per update is
+// O(remainder/threshold); the copy-on-write discipline means snapshots
+// published before the compaction stay valid.
+func (e *Engine) maybeCompactOverlayLocked() {
+	if e.remOverlay.size() > overlayCompactThreshold {
+		e.refreezeRemainderLocked()
+		e.ustats.OverlayCompactions++
+	}
 }
 
 // insertRemainderEntryLocked adds (id, prio) to the sorted remainder table
@@ -145,6 +164,10 @@ func (e *Engine) Delete(id int) error {
 			return err
 		}
 		e.removeRemainderRule(id)
+		if e.remOverlay != nil {
+			e.remOverlay = e.remOverlay.withDelete(id)
+			e.maybeCompactOverlayLocked()
+		}
 		e.ustats.DeletedFromRemainder++
 	}
 	delete(e.prioID, id)
@@ -215,7 +238,9 @@ func (e *Engine) LiveRuleSet() *rules.RuleSet {
 
 // Rebuild retrains the engine over the current live rules — the periodic
 // retraining of Figure 7 — and returns the fresh engine. The receiver
-// remains valid and serves lookups while the replacement trains.
+// remains valid and serves lookups while the replacement trains; once
+// traffic has moved over, Close the old engine to retire its pooled
+// workers.
 func (e *Engine) Rebuild() (*Engine, error) {
 	return Build(e.LiveRuleSet(), e.opts)
 }

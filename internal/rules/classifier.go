@@ -46,6 +46,45 @@ type BatchBoundedClassifier interface {
 // Stringer-free sentinel returned by Lookup when nothing matches.
 const NoMatch = -1
 
+// FrozenClassifier is a compiled, immutable classifier: a snapshot of an
+// updatable classifier's contents flattened into contiguous arrays. All
+// methods are safe for unsynchronized concurrent use — the structure is
+// never mutated after Freeze returns — and perform no allocation, which is
+// what lets an RCU-published engine snapshot own one and serve lookups with
+// zero locks on the hot path.
+//
+// Online updates that happened after the freeze are layered on by the
+// caller: skip (sorted ascending rule IDs) masks rules that were deleted
+// from the frozen contents, and rules added since are matched by a separate
+// overlay scan outside the frozen structure.
+type FrozenClassifier interface {
+	// Len returns the number of rules compiled into the frozen form.
+	Len() int
+	// MemoryFootprint mirrors Classifier.MemoryFootprint for the compiled
+	// arrays.
+	MemoryFootprint() int
+	// Lookup returns the highest-priority rule with Priority < bestPrio
+	// matching p, ignoring rules whose IDs appear in skip, or -1.
+	Lookup(p Packet, bestPrio int32, skip []int) int
+	// LookupBatch classifies pkts[i] under bounds[i]: wherever some rule
+	// beats bounds[i] it writes the winner into out[i] and lowers bounds[i]
+	// to the winner's priority; entries it cannot improve are left
+	// untouched (callers pre-fill out with their current best). bounds is
+	// caller-owned scratch. Results equal per-packet Lookup.
+	LookupBatch(pkts []Packet, bounds []int32, skip []int, out []int)
+}
+
+// Freezable is implemented by updatable classifiers that can compile their
+// current contents into a FrozenClassifier. NuevoMatch freezes its
+// remainder into each published snapshot so the steady-state lookup path
+// never takes the remainder's write-side lock.
+type Freezable interface {
+	Classifier
+	// Freeze compiles the current contents. The result is immutable and
+	// detached: later Insert/Delete calls on the receiver do not affect it.
+	Freeze() FrozenClassifier
+}
+
 // Updatable is implemented by classifiers that support online rule updates
 // (§3.9). Among the baselines only TupleMerge is designed for fast updates;
 // the linear classifier implements it trivially.

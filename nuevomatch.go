@@ -58,6 +58,12 @@ type (
 	BoundedClassifier = rules.BoundedClassifier
 	// Updatable adds online Insert/Delete.
 	Updatable = rules.Updatable
+	// Freezable is an updatable classifier that can compile its contents
+	// into an immutable, lock-free FrozenClassifier (TupleMerge does; the
+	// engine freezes its remainder into every published snapshot).
+	Freezable = rules.Freezable
+	// FrozenClassifier is the compiled, immutable classifier form.
+	FrozenClassifier = rules.FrozenClassifier
 	// Builder constructs a classifier over a rule-set.
 	Builder = rules.Builder
 
