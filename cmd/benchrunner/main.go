@@ -36,6 +36,7 @@ func main() {
 		stanford = flag.Int("stanford", 20000, "Stanford backbone rule-set size (paper: ~183376)")
 		seed     = flag.Int64("seed", 1, "trace generation seed")
 		benchjs  = flag.String("benchjson", "", "directory to write a BENCH_<name>.json perf artifact into (skips -exp)")
+		churnOps = flag.Int("churnops", 20000, "churn-experiment operations per profile recorded into the benchjson artifact (0 disables)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	)
 	flag.Parse()
@@ -64,6 +65,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 			os.Exit(1)
 		}
+		if err := a.AttachChurn(*churnOps, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: churn: %v\n", err)
+			os.Exit(1)
+		}
 		path, err := analysis.WriteBenchArtifact(*benchjs, a)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
@@ -78,6 +83,15 @@ func main() {
 			a.LookupBatchParallel.ThroughputPPS, a.LookupBatchParallel.P50Nanos, a.LookupBatchParallel.P99Nanos, a.LookupBatchParallel.AllocsPerOp)
 		fmt.Printf("  memory:          %d B total (%d B iSets + %d B remainder)\n",
 			a.Engine.TotalBytes, a.Engine.ISetBytes, a.Engine.RemainderBytes)
+		if a.Churn != nil {
+			fmt.Printf("  churn:           %d ops, %d retrains, %d mismatches\n",
+				a.Churn.TotalOps, a.Churn.TotalRetrains, a.Churn.Mismatches)
+			for _, p := range a.Churn.Profiles {
+				fmt.Printf("    %-5s %6d ops  %d retrains (%s)  swap max %6.0f µs  probe p99 %5.0f ns max %6.0f ns  remfrac %.2f\n",
+					p.Profile, p.Ops, p.Retrains, p.Trigger, p.SwapMaxNanos/1e3,
+					p.Probe.P99, p.Probe.Max, p.RemainderFractionEnd)
+			}
+		}
 		return
 	}
 

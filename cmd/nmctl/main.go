@@ -6,6 +6,15 @@
 //
 //	nmctl -rules acl1_10k.rules -trace trace.txt -remainder tm
 //	nmctl -rules acl1_10k.rules -bench            # uniform self-trace
+//	nmctl -gen acl1 -size 10000 -bench            # generate rules in-process
+//	nmctl -gen fw1 -churn 50000                   # autopilot churn serve mode
+//
+// Churn mode (-churn N) runs a sustained interleaved insert/delete/lookup
+// workload with the autopilot supervising the engine: drift trips the
+// policy, retraining happens on a background goroutine, and the retrained
+// state is hot-swapped behind the lookup path. Progress lines report ops,
+// throughput, retrains, and swap latency; -verify additionally checks every
+// lookup against a linear reference mirror.
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"time"
 
 	"nuevomatch/internal/analysis"
+	"nuevomatch/internal/classbench"
 	"nuevomatch/internal/core"
 	"nuevomatch/internal/rules"
 	"nuevomatch/internal/trace"
@@ -26,28 +36,44 @@ import (
 
 func main() {
 	var (
-		rulesPath = flag.String("rules", "", "ClassBench-format rule file (required)")
+		rulesPath = flag.String("rules", "", "ClassBench-format rule file (or use -gen)")
+		gen       = flag.String("gen", "", "generate rules from a ClassBench profile (acl1..acl5, fw1..fw5, ipc1, ipc2) instead of -rules")
+		size      = flag.Int("size", 10000, "rule count for -gen")
 		tracePath = flag.String("trace", "", "trace file from tracegen (optional)")
 		remainder = flag.String("remainder", "tm", "remainder classifier: cs | nc | tm")
 		maxErr    = flag.Int("error", 64, "RQ-RMI maximum error threshold")
 		bench     = flag.Bool("bench", false, "measure throughput on a generated uniform trace")
+		churn     = flag.Int("churn", 0, "churn serve mode: run this many interleaved insert/delete/lookup ops under the autopilot")
+		maxUpd    = flag.Int("retrain-updates", 0, "autopilot: retrain after this many updates (0 = policy default)")
+		maxFrac   = flag.Float64("retrain-remfrac", 0, "autopilot: retrain when the remainder fraction exceeds this (0 = policy default)")
+		verify    = flag.Bool("verify", false, "churn mode: verify every lookup against a linear reference")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if *rulesPath == "" {
-		fatal(fmt.Errorf("-rules is required"))
-	}
 
-	f, err := os.Open(*rulesPath)
-	if err != nil {
-		fatal(err)
+	var rs *rules.RuleSet
+	switch {
+	case *gen != "":
+		prof, err := classbench.ProfileByName(*gen)
+		if err != nil {
+			fatal(err)
+		}
+		rs = classbench.Generate(prof, *size)
+		fmt.Printf("generated %d %s rules\n", rs.Len(), prof.Name)
+	case *rulesPath != "":
+		f, err := os.Open(*rulesPath)
+		if err != nil {
+			fatal(err)
+		}
+		rs, err = rules.ReadClassBench(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d rules from %s\n", rs.Len(), *rulesPath)
+	default:
+		fatal(fmt.Errorf("-rules or -gen is required"))
 	}
-	rs, err := rules.ReadClassBench(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("loaded %d rules from %s\n", rs.Len(), *rulesPath)
 
 	opt, err := analysis.NMOptions(*remainder, *maxErr)
 	if err != nil {
@@ -66,6 +92,14 @@ func main() {
 		st.Coverage*100, st.RemainderSize, st.MaxSearchDistance)
 	fmt.Printf("memory: iSet models %d B, remainder index %d B (total %d B)\n",
 		engine.RQRMIBytes(), engine.RemainderBytes(), engine.MemoryFootprint())
+
+	if *churn > 0 {
+		runChurn(engine, rs, *churn, *seed, *verify, core.AutopilotPolicy{
+			MaxUpdates:           *maxUpd,
+			MaxRemainderFraction: *maxFrac,
+		})
+		return
+	}
 
 	var pkts []rules.Packet
 	switch {
@@ -92,6 +126,111 @@ func main() {
 	fmt.Printf("classified %d packets in %v (%.0f pps, %.0f%% matched)\n",
 		len(pkts), elapsed.Round(time.Millisecond),
 		float64(len(pkts))/elapsed.Seconds(), 100*float64(matched)/float64(len(pkts)))
+}
+
+// runChurn is the serve-style churn mode: a sustained update/lookup stream
+// with the autopilot retraining in the background, reporting progress about
+// once a second.
+func runChurn(e *core.Engine, rs *rules.RuleSet, ops int, seed int64, verify bool, policy core.AutopilotPolicy) {
+	rng := rand.New(rand.NewSource(seed))
+	mirror := rs.Clone()
+	prioOf := make(map[int]int32, mirror.Len())
+	for i := range mirror.Rules {
+		prioOf[mirror.Rules[i].ID] = mirror.Rules[i].Priority
+	}
+
+	ap := core.NewAutopilot(e, policy)
+	ap.Start()
+	defer ap.Stop()
+	fmt.Printf("churn: %d ops, policy %+v\n", ops, ap.Policy())
+
+	nextID := 1 << 24
+	var lookups, inserts, deletes, mismatches int
+	start := time.Now()
+	lastReport := start
+	lastOps := 0
+	for op := 0; op < ops; op++ {
+		switch x := rng.Float64(); {
+		case x < 0.60:
+			lookups++
+			p := make(rules.Packet, mirror.NumFields)
+			if mirror.Len() > 0 && rng.Intn(4) != 0 {
+				classbench.FillMatchingPacket(rng, &mirror.Rules[rng.Intn(mirror.Len())], p)
+			} else {
+				for d := range p {
+					p[d] = rng.Uint32()
+				}
+			}
+			got := e.Lookup(p)
+			if verify {
+				// File-loaded rule-sets may carry duplicate priorities, so
+				// compare by winning priority, not rule identity.
+				want := mirror.MatchID(p)
+				if got != want && ((got < 0) != (want < 0) || prioOf[got] != prioOf[want]) {
+					mismatches++
+				}
+			}
+		case x < 0.80 && mirror.Len() > 0:
+			// Insert a mutation of a random live rule under a fresh ID.
+			src := mirror.Rules[rng.Intn(mirror.Len())]
+			r := src
+			r.ID = nextID
+			nextID++
+			r.Priority = int32(rng.Intn(1 << 20))
+			r.Fields = append([]rules.Range(nil), src.Fields...)
+			if mirror.NumFields == rules.NumFiveTupleFields {
+				r.Fields[rules.FieldDstPort] = rules.ExactRange(uint32(rng.Intn(65536)))
+			}
+			if err := e.Insert(r); err != nil {
+				fatal(err)
+			}
+			mirror.Add(r)
+			prioOf[r.ID] = r.Priority
+			inserts++
+		default:
+			if mirror.Len() <= 16 {
+				continue
+			}
+			i := rng.Intn(mirror.Len())
+			id := mirror.Rules[i].ID
+			if err := e.Delete(id); err != nil {
+				fatal(err)
+			}
+			delete(prioOf, id)
+			mirror.Rules[i] = mirror.Rules[mirror.Len()-1]
+			mirror.Rules = mirror.Rules[:mirror.Len()-1]
+			deletes++
+		}
+		if now := time.Now(); now.Sub(lastReport) >= time.Second {
+			st := ap.Stats()
+			us := e.Updates()
+			fmt.Printf("  %7d ops (%6.0f ops/s)  live %6d  remfrac %.2f  retrains %d  last swap %v  trigger %q\n",
+				op+1, float64(op+1-lastOps)/now.Sub(lastReport).Seconds(),
+				us.LiveRules, us.RemainderFraction, st.Retrains, st.LastSwap.Round(time.Microsecond), st.LastTrigger)
+			lastReport, lastOps = now, op+1
+		}
+	}
+	if ap.Stats().Retrains == 0 {
+		if _, err := ap.Check(); err != nil {
+			fatal(err)
+		}
+	}
+	ap.Stop()
+
+	st := ap.Stats()
+	us := e.Updates()
+	elapsed := time.Since(start)
+	fmt.Printf("churn done: %d ops in %v (%.0f ops/s): %d lookups, %d inserts, %d deletes\n",
+		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds(), lookups, inserts, deletes)
+	fmt.Printf("autopilot: %d retrains (%d failures), %d journaled updates replayed, max swap %v, total train %v\n",
+		st.Retrains, st.Failures, st.Replayed, st.MaxSwap.Round(time.Microsecond), st.TotalTrain.Round(time.Millisecond))
+	fmt.Printf("final: live %d rules, remainder fraction %.2f\n", us.LiveRules, us.RemainderFraction)
+	if verify {
+		fmt.Printf("verification: %d mismatches over %d lookups\n", mismatches, lookups)
+		if mismatches > 0 {
+			os.Exit(1)
+		}
+	}
 }
 
 func readTrace(path string, numFields int) ([]rules.Packet, error) {

@@ -1,7 +1,9 @@
 // Online updates: the §3.9 lifecycle — serve lookups while inserting and
 // deleting rules, watch the remainder grow (and throughput drift toward the
 // remainder classifier's), then retrain, exactly the periodic-retraining
-// regime of Figure 7.
+// regime of Figure 7. The second half hands the same lifecycle to the
+// autopilot: a drift policy trips a background retrain and the retrained
+// state is hot-swapped behind the serving engine's snapshot pointer.
 package main
 
 import (
@@ -106,6 +108,65 @@ func main() {
 		_ = i
 	}
 	fmt.Println("drifted and retrained engines agree on 5000 packets")
+
+	// Autopilot: the same retraining, but autonomous and in place. The
+	// policy trips after 500 updates; training runs on a background
+	// goroutine while lookups and updates keep flowing, updates arriving
+	// mid-train are journaled and replayed, and the swap is one atomic
+	// snapshot store — the engine pointer never changes.
+	ap := nuevomatch.NewAutopilot(fresh, nuevomatch.AutopilotPolicy{
+		MaxUpdates: 500,
+		Interval:   5 * time.Millisecond,
+	})
+	ap.Start()
+	defer ap.Stop()
+	liveIDs := make([]int, 0, fresh.Updates().LiveRules)
+	for _, r := range fresh.LiveRuleSet().Rules {
+		liveIDs = append(liveIDs, r.ID)
+	}
+	for i := 0; i < 1200; i++ {
+		switch i % 2 {
+		case 0:
+			r := nuevomatch.Rule{
+				ID:       nextID,
+				Priority: int32(rng.Intn(1 << 20)),
+				Fields: []nuevomatch.Range{
+					nuevomatch.PrefixRange(rng.Uint32(), 24),
+					nuevomatch.PrefixRange(rng.Uint32(), 16),
+					nuevomatch.FullRange(),
+					nuevomatch.ExactRange(uint32(rng.Intn(65536))),
+					nuevomatch.ExactRange(17),
+				},
+			}
+			nextID++
+			if err := fresh.Insert(r); err != nil {
+				log.Fatal(err)
+			}
+			liveIDs = append(liveIDs, r.ID)
+		case 1:
+			j := rng.Intn(len(liveIDs))
+			if err := fresh.Delete(liveIDs[j]); err != nil {
+				log.Fatal(err)
+			}
+			liveIDs[j] = liveIDs[len(liveIDs)-1]
+			liveIDs = liveIDs[:len(liveIDs)-1]
+		}
+		// Lookups keep being served throughout, swaps included.
+		fresh.Lookup(tr.Packets[i%len(tr.Packets)])
+	}
+	// Give the watcher a moment to absorb the final drift tranche, then
+	// force a synchronous check in case the burst outran the poll interval.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := ap.Check(); err != nil {
+		log.Fatal(err)
+	}
+	ap.Stop()
+	ast := ap.Stats()
+	fmt.Printf("autopilot: %d retrains (trigger %q), %d journaled updates replayed, max swap %v\n",
+		ast.Retrains, ast.LastTrigger, ast.Replayed, ast.MaxSwap.Round(time.Microsecond))
+	fmt.Printf("autopilot: remainder fraction now %.1f%% (policy ceiling keeps coverage fresh)\n",
+		fresh.Updates().RemainderFraction*100)
+	fmt.Printf("throughput with autopilot: %.0f pps\n", throughput(fresh))
 }
 
 func priorityOf(rs *nuevomatch.RuleSet, id int) int32 {

@@ -47,6 +47,28 @@ type BenchArtifact struct {
 	// BatchSpeedup is LookupBatch throughput over Lookup throughput — the
 	// number the batched-inference refactor is accountable for.
 	BatchSpeedup float64 `json:"batch_speedup"`
+
+	// Churn, when present, is the autopilot churn experiment: sustained
+	// insert/delete/lookup workloads with drift-driven background retraining
+	// (retrain counts, swap latency, concurrent-lookup availability).
+	Churn *ChurnReport `json:"churn,omitempty"`
+}
+
+// AttachChurn runs the churn experiment with opsPerProfile operations per
+// profile and records it in the artifact. opsPerProfile <= 0 skips it.
+func (a *BenchArtifact) AttachChurn(opsPerProfile int, seed int64) error {
+	if opsPerProfile <= 0 {
+		return nil
+	}
+	cfg := DefaultChurnConfig()
+	cfg.Ops = opsPerProfile
+	cfg.Seed = seed
+	rep, err := RunChurn(cfg)
+	if err != nil {
+		return err
+	}
+	a.Churn = rep
+	return nil
 }
 
 // BenchPath is the measurement of one lookup entry point. AllocsPerOp and

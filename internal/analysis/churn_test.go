@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"nuevomatch/internal/core"
+)
+
+func TestRunChurnSmall(t *testing.T) {
+	cfg := ChurnConfig{
+		Profiles: []string{"acl1", "ipc1"},
+		Size:     300,
+		Ops:      3000,
+		Seed:     3,
+		Verify:   true,
+		Policy: core.AutopilotPolicy{
+			MaxUpdates:   250,
+			MinLiveRules: 1,
+			Interval:     time.Millisecond,
+		},
+	}
+	rep, err := RunChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Profiles) != 2 || rep.TotalOps != 6000 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("churn produced %d lookup mismatches against the linear reference", rep.Mismatches)
+	}
+	if rep.TotalRetrains < 1 {
+		t.Fatalf("autopilot never retrained: %+v", rep)
+	}
+	for _, p := range rep.Profiles {
+		if p.Failures != 0 {
+			t.Errorf("%s: %d retrain failures", p.Profile, p.Failures)
+		}
+		if p.Inserts == 0 || p.Deletes == 0 || p.Lookups == 0 {
+			t.Errorf("%s: degenerate workload mix: %+v", p.Profile, p)
+		}
+		if p.Probe.Samples == 0 {
+			t.Errorf("%s: availability prober collected no samples", p.Profile)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Autopilot: drift-driven background retraining. The paper treats RQ-RMI
+// retraining as a periodic offline step (§3.9); a long-running service
+// accumulating updates drifts toward the remainder path as coverage decays.
+// The Autopilot closes the loop: it owns a live engine, watches the
+// UpdateStats drift signals (insert/delete counts, overlay compactions,
+// remainder-fraction growth), and when the configured policy trips it runs
+// an in-place Retrain on a background goroutine — lookups stay
+// zero-lock/zero-alloc across the swap, and updates arriving during the
+// retrain are journaled and replayed before publication (retrain.go).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AutopilotPolicy configures when accumulated drift justifies a background
+// retrain. Zero fields take the documented defaults; a negative value
+// disables that trigger entirely.
+type AutopilotPolicy struct {
+	// MaxUpdates trips a retrain after this many updates (inserts plus
+	// deletes) since the last (re)build. Zero means 4096; negative disables.
+	MaxUpdates int
+	// MaxRemainderFraction trips a retrain when the fraction of live rules
+	// not served by the RQ-RMIs exceeds this — the coverage-decay signal the
+	// paper retrains on. Zero means 0.40; negative disables.
+	MaxRemainderFraction float64
+	// MaxOverlayCompactions trips a retrain after this many remainder
+	// overlay compactions, a proxy for sustained remainder churn. Zero means
+	// 16; negative disables.
+	MaxOverlayCompactions int
+	// MinLiveRules suppresses retraining below this many live rules, where
+	// a rebuild buys nothing. Zero means 64; negative disables the floor.
+	MinLiveRules int
+	// MinInterval is the minimum time between retrains, bounding training
+	// load under adversarial churn. Zero means no minimum.
+	MinInterval time.Duration
+	// Interval is the drift-poll period of the background watcher started by
+	// Start. Zero means 250ms; a negative value disables the watcher
+	// entirely (Start becomes a no-op — drive Check manually).
+	Interval time.Duration
+}
+
+// withDefaults resolves the zero values.
+func (p AutopilotPolicy) withDefaults() AutopilotPolicy {
+	if p.MaxUpdates == 0 {
+		p.MaxUpdates = 4096
+	}
+	if p.MaxRemainderFraction == 0 {
+		p.MaxRemainderFraction = 0.40
+	}
+	if p.MaxOverlayCompactions == 0 {
+		p.MaxOverlayCompactions = 16
+	}
+	if p.MinLiveRules == 0 {
+		p.MinLiveRules = 64
+	}
+	if p.Interval == 0 {
+		p.Interval = 250 * time.Millisecond
+	}
+	return p
+}
+
+// fracHysteresis is how far the remainder fraction must decay past the
+// best a (re)build achieved before the coverage trigger re-arms. Without
+// it, a ceiling below what training can reach on the rule-set (possible on
+// wildcard-heavy profiles) would trip on every poll and retrain in a loop.
+const fracHysteresis = 0.05
+
+// evaluate reports whether the drift in st trips the policy, and why.
+// baseFrac is the remainder fraction right after the last (re)build — the
+// best the current rule-set trains to — used to damp the coverage trigger.
+func (p AutopilotPolicy) evaluate(st UpdateStats, baseFrac float64) (string, bool) {
+	if p.MinLiveRules > 0 && st.LiveRules < p.MinLiveRules {
+		return "", false
+	}
+	updates := st.Inserted + st.DeletedFromISets + st.DeletedFromRemainder
+	if p.MaxUpdates > 0 && updates >= p.MaxUpdates {
+		return fmt.Sprintf("updates %d >= %d", updates, p.MaxUpdates), true
+	}
+	if p.MaxRemainderFraction > 0 && st.RemainderFraction > p.MaxRemainderFraction &&
+		st.RemainderFraction >= baseFrac+fracHysteresis {
+		return fmt.Sprintf("remainder fraction %.2f > %.2f", st.RemainderFraction, p.MaxRemainderFraction), true
+	}
+	if p.MaxOverlayCompactions > 0 && st.OverlayCompactions >= p.MaxOverlayCompactions {
+		return fmt.Sprintf("overlay compactions %d >= %d", st.OverlayCompactions, p.MaxOverlayCompactions), true
+	}
+	return "", false
+}
+
+// AutopilotStats is the supervisor's cumulative activity record.
+type AutopilotStats struct {
+	// Checks counts policy evaluations.
+	Checks int
+	// Retrains counts completed in-place retrains; Failures counts retrains
+	// that errored (the engine keeps serving its pre-retrain state).
+	Retrains int
+	Failures int
+	// Replayed is the total number of journaled updates replayed across all
+	// swaps — updates that arrived while a retrain was training.
+	Replayed int
+	// LastTrigger describes the drift signal that tripped the last retrain.
+	LastTrigger string
+	// LastError is the message of the last failed retrain, if any.
+	LastError string
+	// LastTrain/LastSwap are the durations of the most recent retrain's
+	// training and swap phases; MaxSwap and TotalTrain aggregate them.
+	LastTrain  time.Duration
+	LastSwap   time.Duration
+	MaxSwap    time.Duration
+	TotalTrain time.Duration
+}
+
+// Autopilot supervises a live engine: a background watcher polls the drift
+// signals and retrains in place when the policy trips. Lookups and updates
+// go to the supervised engine directly — the Autopilot adds no indirection
+// to the hot path, because Retrain swaps behind the engine's own snapshot
+// pointer.
+type Autopilot struct {
+	e      *Engine
+	policy AutopilotPolicy
+
+	mu       sync.Mutex
+	stats    AutopilotStats
+	lastSwap time.Time
+	// lastFail backs off watcher-driven retries after a failed retrain: the
+	// drift counters stay tripped on failure, and without a pause the
+	// watcher would relaunch a doomed full training run every poll.
+	lastFail time.Time
+	// baseFrac is the remainder fraction right after the last (re)build,
+	// the hysteresis floor of the coverage trigger.
+	baseFrac float64
+	busy     bool // a retrain is in flight (Check is re-entrant safe)
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewAutopilot wraps a built engine with a drift supervisor. The watcher is
+// not started; call Start, or drive Check manually for deterministic
+// control.
+func NewAutopilot(e *Engine, policy AutopilotPolicy) *Autopilot {
+	return &Autopilot{
+		e:        e,
+		policy:   policy.withDefaults(),
+		baseFrac: e.Updates().RemainderFraction,
+	}
+}
+
+// Engine returns the supervised engine. The pointer is stable across
+// retrains — swaps happen behind its snapshot pointer.
+func (ap *Autopilot) Engine() *Engine { return ap.e }
+
+// Policy returns the resolved policy.
+func (ap *Autopilot) Policy() AutopilotPolicy { return ap.policy }
+
+// Stats returns the supervisor's cumulative activity.
+func (ap *Autopilot) Stats() AutopilotStats {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	return ap.stats
+}
+
+// Start launches the background watcher. It polls every policy Interval and
+// retrains when the policy trips. Safe to call once; Stop ends it. A
+// negative Interval means no watcher: Start is a no-op.
+func (ap *Autopilot) Start() {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	if ap.policy.Interval < 0 || ap.stop != nil {
+		return // watcher disabled, or already running
+	}
+	ap.stop = make(chan struct{})
+	ap.done = make(chan struct{})
+	go ap.watch(ap.stop, ap.done)
+}
+
+// Stop halts the background watcher and waits for any in-flight retrain to
+// finish, so the engine is quiescent (no background training) on return.
+// The engine itself remains live and serving. Safe to call multiple times.
+func (ap *Autopilot) Stop() {
+	ap.mu.Lock()
+	stop, done := ap.stop, ap.done
+	ap.stop, ap.done = nil, nil
+	ap.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// failureBackoff is the minimum pause between retrain attempts after a
+// failure: the larger of MinInterval and 30 poll intervals, so a
+// persistently failing build costs one attempt every few seconds instead
+// of one per poll. With the watcher disabled (Interval < 0) there is no
+// backoff — every Check is an explicit caller decision.
+func (ap *Autopilot) failureBackoff() time.Duration {
+	if ap.policy.Interval < 0 {
+		return 0
+	}
+	b := 30 * ap.policy.Interval
+	if ap.policy.MinInterval > b {
+		b = ap.policy.MinInterval
+	}
+	return b
+}
+
+// watch is the background drift loop.
+func (ap *Autopilot) watch(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(ap.policy.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			ap.Check()
+		}
+	}
+}
+
+// Check evaluates the policy against the engine's current drift once and,
+// if it trips, runs one in-place retrain synchronously. It returns whether
+// a retrain ran and its error, if any. The background watcher calls Check
+// on every poll; tests and experiment drivers call it directly for
+// deterministic retrain points. Concurrent Checks never stack retrains: if
+// one is already in flight the call returns immediately.
+func (ap *Autopilot) Check() (bool, error) {
+	st := ap.e.Updates()
+	ap.mu.Lock()
+	reason, trip := ap.policy.evaluate(st, ap.baseFrac)
+	ap.stats.Checks++
+	if !trip || ap.busy ||
+		(ap.policy.MinInterval > 0 && !ap.lastSwap.IsZero() && time.Since(ap.lastSwap) < ap.policy.MinInterval) ||
+		(!ap.lastFail.IsZero() && time.Since(ap.lastFail) < ap.failureBackoff()) {
+		ap.mu.Unlock()
+		return false, nil
+	}
+	ap.busy = true
+	ap.mu.Unlock()
+
+	rst, err := ap.e.Retrain()
+
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	ap.busy = false
+	if err != nil {
+		ap.lastFail = time.Now()
+		ap.stats.Failures++
+		ap.stats.LastError = err.Error()
+		return false, err
+	}
+	ap.lastFail = time.Time{}
+	ap.lastSwap = time.Now()
+	ap.baseFrac = 1 - rst.CoverageAfter
+	ap.stats.Retrains++
+	ap.stats.Replayed += rst.Replayed
+	ap.stats.LastTrigger = reason
+	ap.stats.LastTrain = rst.TrainTime
+	ap.stats.LastSwap = rst.SwapTime
+	ap.stats.TotalTrain += rst.TrainTime
+	if rst.SwapTime > ap.stats.MaxSwap {
+		ap.stats.MaxSwap = rst.SwapTime
+	}
+	return true, nil
+}

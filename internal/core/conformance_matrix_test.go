@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"nuevomatch/internal/classbench"
+)
+
+// TestConformanceMatrix sweeps every ClassBench application profile through
+// three lifecycle modes — freshly built, 20% churned, and churned with
+// autopilot-driven retraining — asserting on each cell that every lookup
+// path (scalar, batch, parallel) agrees exactly with the linear reference.
+// Under -short the sweep is pruned to one profile per application family.
+func TestConformanceMatrix(t *testing.T) {
+	profiles := classbench.Profiles()
+	size, pool, probes := 240, 400, 300
+	if testing.Short() {
+		// One profile per family: acl1, fw1, ipc1.
+		profiles = []classbench.Profile{profiles[0], profiles[5], profiles[10]}
+		size, pool, probes = 150, 240, 150
+	}
+	for pi, prof := range profiles {
+		for _, mode := range []string{"static", "churn", "churn+retrain"} {
+			t.Run(prof.Name+"/"+mode, func(t *testing.T) {
+				d := newChurnDriver(t, prof, size, pool, fastOpts(), 100+int64(pi))
+				switch mode {
+				case "static":
+					// build only
+				case "churn":
+					// Churn 20% of the rule count in interleaved
+					// inserts/deletes (lookups verified throughout).
+					for d.inserts+d.deletes < 2*size/5 {
+						d.step()
+					}
+				case "churn+retrain":
+					ap := NewAutopilot(d.e, AutopilotPolicy{
+						MaxUpdates:   size / 5,
+						MinLiveRules: 1,
+					})
+					for d.inserts+d.deletes < 2*size/5 {
+						d.step()
+						if d.ops%50 == 0 {
+							if _, err := ap.Check(); err != nil {
+								t.Fatalf("autopilot check: %v", err)
+							}
+						}
+					}
+					if _, err := ap.Check(); err != nil {
+						t.Fatalf("final autopilot check: %v", err)
+					}
+					if st := ap.Stats(); st.Retrains < 1 {
+						t.Fatalf("autopilot never retrained under 20%% churn: %+v", st)
+					}
+					// Keep churning after the swap: the retrained engine must
+					// absorb further updates correctly.
+					for n := d.inserts + d.deletes; d.inserts+d.deletes < n+size/10; {
+						d.step()
+					}
+				}
+				d.verifySweep(probes)
+			})
+		}
+	}
+}

@@ -158,6 +158,13 @@ type Engine struct {
 	// so repeated calls reuse goroutines and buffers instead of spawning.
 	parPool chan *parWorker
 
+	// retraining is set while a background Retrain is training a replacement
+	// engine off-lock; while it is set, every applied update is also appended
+	// to journal so it can be replayed onto the retrained state before the
+	// swap (retrain.go).
+	retraining bool
+	journal    []journalOp
+
 	stats  BuildStats
 	ustats UpdateStats
 }
@@ -307,14 +314,25 @@ func (e *Engine) snapshot() *snapshot { return e.snap.Load() }
 // Name implements rules.Classifier.
 func (e *Engine) Name() string { return "nuevomatch" }
 
-// Stats returns build statistics.
-func (e *Engine) Stats() BuildStats { return e.stats }
+// Stats returns build statistics — of the most recent (re)build: Retrain
+// replaces them along with the trained state, so the accessor takes the
+// write lock (it is not a hot-path call).
+func (e *Engine) Stats() BuildStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
 
 // NumISets returns the number of trained RQ-RMI models.
 func (e *Engine) NumISets() int { return len(e.snapshot().isets) }
 
-// Remainder exposes the external classifier (for tests and tooling).
-func (e *Engine) Remainder() rules.Classifier { return e.remainder }
+// Remainder exposes the external classifier (for tests and tooling). Like
+// Stats, it reads write-side state that Retrain replaces, so it locks.
+func (e *Engine) Remainder() rules.Classifier {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.remainder
+}
 
 // Lookup implements rules.Classifier: query all RQ-RMIs, validate the (at
 // most one) candidate per iSet, then query the remainder under the best
@@ -497,7 +515,7 @@ func (e *Engine) LookupBatchParallel(pkts []rules.Packet, out []int) {
 // MemoryFootprint implements rules.Classifier: RQ-RMI model bytes plus the
 // remainder's own index (§5.2.1 accounting).
 func (e *Engine) MemoryFootprint() int {
-	return e.RQRMIBytes() + e.remainder.MemoryFootprint()
+	return e.RQRMIBytes() + e.Remainder().MemoryFootprint()
 }
 
 // RQRMIBytes returns the total size of the trained models alone — the part
@@ -513,4 +531,4 @@ func (e *Engine) RQRMIBytes() int {
 
 // RemainderBytes returns the external classifier's index size (Figure 13's
 // "Remainder" bars).
-func (e *Engine) RemainderBytes() int { return e.remainder.MemoryFootprint() }
+func (e *Engine) RemainderBytes() int { return e.Remainder().MemoryFootprint() }

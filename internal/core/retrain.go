@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nuevomatch/internal/rules"
+)
+
+// This file implements in-place retraining: the §3.9 periodic retrain as a
+// hot swap on a live engine instead of the build-a-new-engine-and-repoint
+// dance of Rebuild. Retrain trains a replacement engine on a background
+// goroutine-friendly path (no locks held during training), journals every
+// update that arrives while training runs, replays the journal onto the
+// replacement, and publishes the retrained state through the engine's
+// existing RCU snapshot pointer — so callers keep their *Engine, lookups
+// stay zero-lock/zero-alloc throughout, and no reader ever observes a torn
+// or stale state: before the single atomic store they see the drifted
+// engine with all updates applied, after it the retrained engine with the
+// same updates replayed.
+
+// journalOp records one applied update for replay onto a retrained engine.
+type journalOp struct {
+	del  bool
+	id   int // delete target
+	rule rules.Rule
+}
+
+// journalInsertLocked records an applied insert for replay while a
+// background retrain is in flight; no work (and no clone allocation)
+// otherwise.
+func (e *Engine) journalInsertLocked(r rules.Rule) {
+	if e.retraining {
+		e.journal = append(e.journal, journalOp{rule: cloneRule(r)})
+	}
+}
+
+// journalDeleteLocked records an applied delete for replay while a
+// background retrain is in flight.
+func (e *Engine) journalDeleteLocked(id int) {
+	if e.retraining {
+		e.journal = append(e.journal, journalOp{del: true, id: id})
+	}
+}
+
+// cloneRule deep-copies a rule so the journal does not alias caller-owned
+// field slices.
+func cloneRule(r rules.Rule) rules.Rule {
+	r.Fields = append([]rules.Range(nil), r.Fields...)
+	return r
+}
+
+// ErrRetrainInProgress is returned by Retrain when another retrain on the
+// same engine has not finished yet.
+var ErrRetrainInProgress = errors.New("core: retrain already in progress")
+
+// RetrainStats reports one in-place retrain.
+type RetrainStats struct {
+	// TrainTime is the wall time of the background Build — lookups and
+	// updates proceed normally for its whole duration.
+	TrainTime time.Duration
+	// SwapTime is the time the write lock was held to replay the journal and
+	// publish the retrained snapshot. Lookups are lock-free and never blocked
+	// even during the swap; SwapTime bounds only the update-side stall.
+	SwapTime time.Duration
+	// Replayed is the number of journaled updates applied to the retrained
+	// state before publication.
+	Replayed int
+	// RulesBefore/RulesAfter are the live rule counts around the retrain.
+	RulesBefore, RulesAfter int
+	// CoverageBefore is the fraction of live rules the RQ-RMIs served when
+	// the retrain started; CoverageAfter the fraction after the swap.
+	CoverageBefore, CoverageAfter float64
+}
+
+// Retrain retrains the engine in place over its current live rules — the
+// paper's periodic retraining (§3.9, Figure 7) as a hot swap. Training runs
+// without holding the write lock: concurrent Insert/Delete/Modify keep
+// landing on the serving state and are journaled; once the replacement is
+// trained the journal is replayed onto it under the write lock and the
+// result is published with one atomic snapshot store. Concurrent lookups
+// never stall and always observe either the pre-swap state (with every
+// update applied) or the post-swap state (with the same updates replayed).
+// At most one Retrain may be in flight per engine; concurrent calls fail
+// with ErrRetrainInProgress.
+func (e *Engine) Retrain() (RetrainStats, error) {
+	var st RetrainStats
+	e.mu.Lock()
+	if e.retraining {
+		e.mu.Unlock()
+		return st, ErrRetrainInProgress
+	}
+	e.retraining = true
+	live := e.liveRuleSetLocked()
+	st.RulesBefore = len(e.prioID)
+	st.CoverageBefore = 1 - e.updateStatsLocked().RemainderFraction
+	e.mu.Unlock()
+
+	t0 := time.Now()
+	fresh, err := Build(live, e.opts)
+	st.TrainTime = time.Since(t0)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	journal := e.journal
+	e.journal, e.retraining = nil, false
+	if err != nil {
+		return st, fmt.Errorf("core: retrain build: %w", err)
+	}
+	t1 := time.Now()
+	for _, op := range journal {
+		// Every journaled op was a valid transition on the serving engine
+		// and the replacement was built from the exact rule set the journal
+		// starts at, so replay cannot fail unless the engine's own
+		// bookkeeping is broken; in that case keep serving the old state.
+		if op.del {
+			err = fresh.Delete(op.id)
+		} else {
+			err = fresh.Insert(op.rule)
+		}
+		if err != nil {
+			return st, fmt.Errorf("core: retrain replay: %w", err)
+		}
+	}
+	st.Replayed = len(journal)
+	e.adoptLocked(fresh)
+	st.SwapTime = time.Since(t1)
+	st.RulesAfter = len(e.prioID)
+	st.CoverageAfter = 1 - e.updateStatsLocked().RemainderFraction
+	return st, nil
+}
+
+// adoptLocked moves the retrained engine's entire state — write side and
+// read side — into e and publishes it. f is private to the caller (it never
+// escaped Build/replay), so its fields can be adopted without locking it.
+// e keeps its own parPool: pooled workers carry no engine state between
+// jobs, only scratch buffers.
+func (e *Engine) adoptLocked(f *Engine) {
+	e.rs = f.rs
+	e.posID = f.posID
+	e.prioID = f.prioID
+	e.live = f.live
+	e.isets = f.isets
+	e.inISet = f.inISet
+	e.meta = f.meta
+	e.fieldLo, e.fieldHi = f.fieldLo, f.fieldHi
+	e.remainder = f.remainder
+	e.remainderRules = f.remainderRules
+	e.remFrozen, e.remOverlay = f.remFrozen, f.remOverlay
+	e.remIDs, e.remPrios = f.remIDs, f.remPrios
+	e.stats = f.stats
+	// The replacement's counters are exactly the replayed journal: those
+	// updates are real post-build drift (they live in the new remainder),
+	// so they must keep counting toward the next retrain trigger.
+	e.ustats = f.ustats
+	f.Close() // retire any pooled workers the replacement spawned
+	e.publishLocked()
+}

@@ -55,14 +55,11 @@ func (e *Engine) Updates() UpdateStats {
 func (e *Engine) updateStatsLocked() UpdateStats {
 	s := e.ustats
 	s.LiveRules = len(e.prioID)
-	covered := 0
-	for id := range e.inISet {
-		if e.live[id] {
-			covered++
-		}
-	}
+	// Every inISet entry is live: deletions remove the entry (Delete's iSet
+	// branch), so the covered count is the map's size — O(1), which matters
+	// because the autopilot polls Updates() under the write lock.
 	if s.LiveRules > 0 {
-		s.RemainderFraction = 1 - float64(covered)/float64(s.LiveRules)
+		s.RemainderFraction = 1 - float64(len(e.inISet))/float64(s.LiveRules)
 	}
 	return s
 }
@@ -74,6 +71,13 @@ func (e *Engine) Insert(r rules.Rule) error {
 	defer e.mu.Unlock()
 	if len(r.Fields) != e.rs.NumFields {
 		return fmt.Errorf("core: rule has %d fields, engine expects %d", len(r.Fields), e.rs.NumFields)
+	}
+	for d, f := range r.Fields {
+		// Reject what Build's Validate would: an invalid live rule
+		// otherwise poisons every future Retrain while still being served.
+		if !f.Valid() {
+			return fmt.Errorf("core: rule %d field %d has Lo %d > Hi %d", r.ID, d, f.Lo, f.Hi)
+		}
 	}
 	if _, dup := e.prioID[r.ID]; dup {
 		return fmt.Errorf("core: duplicate rule ID %d", r.ID)
@@ -94,6 +98,7 @@ func (e *Engine) Insert(r rules.Rule) error {
 	e.prioID[r.ID] = r.Priority
 	e.live[r.ID] = true
 	e.ustats.Inserted++
+	e.journalInsertLocked(r)
 	e.publishLocked()
 	return nil
 }
@@ -172,6 +177,7 @@ func (e *Engine) Delete(id int) error {
 	}
 	delete(e.prioID, id)
 	delete(e.live, id)
+	e.journalDeleteLocked(id)
 	e.publishLocked()
 	return nil
 }
@@ -214,6 +220,10 @@ func (e *Engine) removeRemainderRule(id int) {
 func (e *Engine) LiveRuleSet() *rules.RuleSet {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.liveRuleSetLocked()
+}
+
+func (e *Engine) liveRuleSetLocked() *rules.RuleSet {
 	out := rules.NewRuleSet(e.rs.NumFields)
 	inRemainder := make(map[int]bool, e.remainderRules.Len())
 	for i := range e.remainderRules.Rules {

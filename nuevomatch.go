@@ -77,6 +77,18 @@ type (
 	UpdateStats = core.UpdateStats
 	// RQRMIConfig tunes per-iSet model training.
 	RQRMIConfig = rqrmi.Config
+
+	// Autopilot supervises a live engine: it watches update drift and
+	// retrains in place on a background goroutine when the policy trips.
+	// Lookups stay zero-lock across the hot swap (Engine.Retrain).
+	Autopilot = core.Autopilot
+	// AutopilotPolicy configures the drift triggers.
+	AutopilotPolicy = core.AutopilotPolicy
+	// AutopilotStats is the supervisor's cumulative activity record.
+	AutopilotStats = core.AutopilotStats
+	// RetrainStats reports one in-place retrain (train time, swap time,
+	// journaled updates replayed).
+	RetrainStats = core.RetrainStats
 )
 
 // Field indices of the 5-tuple layout.
@@ -115,6 +127,17 @@ func FormatIPv4(v uint32) string { return rules.FormatIPv4(v) }
 // reproduce the paper's default setup: up to 4 iSets, 5% minimum coverage,
 // error threshold 64, TupleMerge remainder.
 func Build(rs *RuleSet, opts Options) (*Engine, error) { return core.Build(rs, opts) }
+
+// NewAutopilot wraps a built engine with a drift supervisor. Call Start to
+// launch the background watcher (and Stop to halt it), or drive Check
+// manually for deterministic retrain points.
+func NewAutopilot(e *Engine, policy AutopilotPolicy) *Autopilot {
+	return core.NewAutopilot(e, policy)
+}
+
+// ErrRetrainInProgress is returned by Engine.Retrain when another retrain on
+// the same engine has not finished yet.
+var ErrRetrainInProgress = core.ErrRetrainInProgress
 
 // Remainder classifier builders for Options.Remainder, and standalone
 // baselines for comparison.

@@ -62,6 +62,65 @@ func TestRemainderBuilders(t *testing.T) {
 	}
 }
 
+// TestAutopilotPublicSurface exercises the drift supervisor end-to-end
+// through the public API: churn an engine past the policy threshold, let
+// Check retrain it in place, and verify the engine pointer kept serving
+// correct results.
+func TestAutopilotPublicSurface(t *testing.T) {
+	rs := nuevomatch.NewRuleSet(2)
+	for i := uint32(0); i < 200; i++ {
+		rs.AddAuto(nuevomatch.ExactRange(i), nuevomatch.Range{Lo: i, Hi: i + 1000})
+	}
+	engine, err := nuevomatch.Build(rs, nuevomatch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := nuevomatch.NewAutopilot(engine, nuevomatch.AutopilotPolicy{
+		MaxUpdates:   50,
+		MinLiveRules: 1,
+	})
+	if ap.Engine() != engine {
+		t.Fatal("Engine() must return the supervised engine")
+	}
+	nextID := 10_000
+	for i := uint32(0); i < 60; i++ {
+		if err := engine.Delete(int(i)); err != nil {
+			t.Fatal(err)
+		}
+		r := nuevomatch.Rule{
+			ID:       nextID,
+			Priority: int32(nextID),
+			Fields:   []nuevomatch.Range{nuevomatch.ExactRange(i), nuevomatch.Range{Lo: i, Hi: i + 500}},
+		}
+		nextID++
+		if err := engine.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	retrained, err := ap.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !retrained {
+		t.Fatal("policy must trip after 120 updates")
+	}
+	st := ap.Stats()
+	if st.Retrains != 1 || st.Failures != 0 {
+		t.Fatalf("unexpected autopilot stats: %+v", st)
+	}
+	// The same engine pointer serves the retrained state: replaced rules
+	// match under their new IDs, untouched rules under their old ones.
+	if got := engine.Lookup(nuevomatch.Packet{10, 400}); got != 10_010 {
+		t.Errorf("replaced rule: Lookup = %d, want %d", got, 10_010)
+	}
+	if got := engine.Lookup(nuevomatch.Packet{150, 600}); got != 150 {
+		t.Errorf("untouched rule: Lookup = %d, want %d", got, 150)
+	}
+	if _, err := engine.Retrain(); err != nil {
+		t.Fatalf("manual public Retrain: %v", err)
+	}
+}
+
 func TestFormatIPv4RoundTrip(t *testing.T) {
 	v, err := nuevomatch.ParseIPv4("172.16.254.1")
 	if err != nil {
