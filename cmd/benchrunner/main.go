@@ -83,6 +83,10 @@ func main() {
 			a.LookupBatchParallel.ThroughputPPS, a.LookupBatchParallel.P50Nanos, a.LookupBatchParallel.P99Nanos, a.LookupBatchParallel.AllocsPerOp)
 		fmt.Printf("  memory:          %d B total (%d B iSets + %d B remainder)\n",
 			a.Engine.TotalBytes, a.Engine.ISetBytes, a.Engine.RemainderBytes)
+		fmt.Printf("  persistence:     build %.2fs -> save %.1fms, load %.1fms (%.0fx faster than build), %d B table, %d/%d verified\n",
+			a.Persistence.BuildSeconds, a.Persistence.SaveSeconds*1e3, a.Persistence.LoadSeconds*1e3,
+			a.Persistence.LoadSpeedup, a.Persistence.TableBytes,
+			a.Persistence.VerifiedPackets-a.Persistence.Mismatches, a.Persistence.VerifiedPackets)
 		if a.Churn != nil {
 			fmt.Printf("  churn:           %d ops, %d retrains, %d mismatches\n",
 				a.Churn.TotalOps, a.Churn.TotalRetrains, a.Churn.Mismatches)

@@ -1,18 +1,22 @@
-// Command nmctl trains a NuevoMatch engine on a rule file and classifies a
-// trace, reporting build statistics and throughput — the end-to-end driver
-// for ad-hoc experiments.
+// Command nmctl drives NuevoMatch tables end to end: train and persist a
+// table offline, then serve it warm — the production split the persistence
+// lifecycle exists for — plus an ad-hoc combined mode for quick experiments.
 //
 // Usage:
 //
-//	nmctl -rules acl1_10k.rules -trace trace.txt -remainder tm
-//	nmctl -rules acl1_10k.rules -bench            # uniform self-trace
-//	nmctl -gen acl1 -size 10000 -bench            # generate rules in-process
-//	nmctl -gen fw1 -churn 50000                   # autopilot churn serve mode
+//	nmctl build -gen acl1 -size 10000 -o table.nm     # train offline, persist
+//	nmctl build -rules acl1_10k.rules -o table.nm
+//	nmctl serve -load table.nm -bench                 # warm start: no retraining
+//	nmctl serve -load table.nm -churn 50000 -persist table.nm
+//	nmctl -gen acl1 -size 10000 -bench                # legacy combined mode
 //
-// Churn mode (-churn N) runs a sustained interleaved insert/delete/lookup
-// workload with the autopilot supervising the engine: drift trips the
-// policy, retraining happens on a background goroutine, and the retrained
-// state is hot-swapped behind the lookup path. Progress lines report ops,
+// serve loads in milliseconds whatever build spent training and reports the
+// load-vs-build amortization. Churn mode (-churn N) runs a sustained
+// interleaved insert/delete/lookup workload with the autopilot supervising
+// the table: drift trips the policy, retraining happens on a background
+// goroutine, the retrained state is hot-swapped behind the lookup path, and
+// with -persist the artifact on disk is refreshed after every retrain so a
+// restart warm-starts from the freshest state. Progress lines report ops,
 // throughput, retrains, and swap latency; -verify additionally checks every
 // lookup against a linear reference mirror.
 package main
@@ -27,77 +31,175 @@ import (
 	"strings"
 	"time"
 
-	"nuevomatch/internal/analysis"
+	"nuevomatch"
 	"nuevomatch/internal/classbench"
-	"nuevomatch/internal/core"
 	"nuevomatch/internal/rules"
 	"nuevomatch/internal/trace"
 )
 
 func main() {
-	var (
-		rulesPath = flag.String("rules", "", "ClassBench-format rule file (or use -gen)")
-		gen       = flag.String("gen", "", "generate rules from a ClassBench profile (acl1..acl5, fw1..fw5, ipc1, ipc2) instead of -rules")
-		size      = flag.Int("size", 10000, "rule count for -gen")
-		tracePath = flag.String("trace", "", "trace file from tracegen (optional)")
-		remainder = flag.String("remainder", "tm", "remainder classifier: cs | nc | tm")
-		maxErr    = flag.Int("error", 64, "RQ-RMI maximum error threshold")
-		bench     = flag.Bool("bench", false, "measure throughput on a generated uniform trace")
-		churn     = flag.Int("churn", 0, "churn serve mode: run this many interleaved insert/delete/lookup ops under the autopilot")
-		maxUpd    = flag.Int("retrain-updates", 0, "autopilot: retrain after this many updates (0 = policy default)")
-		maxFrac   = flag.Float64("retrain-remfrac", 0, "autopilot: retrain when the remainder fraction exceeds this (0 = policy default)")
-		verify    = flag.Bool("verify", false, "churn mode: verify every lookup against a linear reference")
-		seed      = flag.Int64("seed", 1, "random seed")
-	)
-	flag.Parse()
-
-	var rs *rules.RuleSet
-	switch {
-	case *gen != "":
-		prof, err := classbench.ProfileByName(*gen)
-		if err != nil {
-			fatal(err)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "build":
+			cmdBuild(os.Args[2:])
+			return
+		case "serve":
+			cmdServe(os.Args[2:])
+			return
 		}
-		rs = classbench.Generate(prof, *size)
-		fmt.Printf("generated %d %s rules\n", rs.Len(), prof.Name)
-	case *rulesPath != "":
-		f, err := os.Open(*rulesPath)
-		if err != nil {
-			fatal(err)
-		}
-		rs, err = rules.ReadClassBench(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("loaded %d rules from %s\n", rs.Len(), *rulesPath)
-	default:
-		fatal(fmt.Errorf("-rules or -gen is required"))
 	}
+	cmdLegacy(os.Args[1:])
+}
 
-	opt, err := analysis.NMOptions(*remainder, *maxErr)
+// ruleSource loads or generates the rule-set shared by build and the legacy
+// mode.
+func ruleSource(rulesPath, gen string, size int) (*rules.RuleSet, error) {
+	switch {
+	case gen != "":
+		prof, err := classbench.ProfileByName(gen)
+		if err != nil {
+			return nil, err
+		}
+		rs := classbench.Generate(prof, size)
+		fmt.Printf("generated %d %s rules\n", rs.Len(), prof.Name)
+		return rs, nil
+	case rulesPath != "":
+		f, err := os.Open(rulesPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		rs, err := rules.ReadClassBench(f)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("loaded %d rules from %s\n", rs.Len(), rulesPath)
+		return rs, nil
+	default:
+		return nil, fmt.Errorf("-rules or -gen is required")
+	}
+}
+
+// buildOptions maps the -remainder/-error flags onto functional options,
+// using the paper's pairing of minimum coverage per remainder (§5.3.2).
+func buildOptions(remainder string, maxErr int) ([]nuevomatch.Option, error) {
+	var opts []nuevomatch.Option
+	switch remainder {
+	case "tm":
+		opts = append(opts, nuevomatch.WithRemainder(nuevomatch.TupleMerge),
+			nuevomatch.WithMaxISets(4), nuevomatch.WithMinCoverage(0.05))
+	case "cs":
+		opts = append(opts, nuevomatch.WithRemainder(nuevomatch.CutSplit),
+			nuevomatch.WithMaxISets(2), nuevomatch.WithMinCoverage(0.25))
+	case "nc":
+		opts = append(opts, nuevomatch.WithRemainder(nuevomatch.NeuroCuts),
+			nuevomatch.WithMaxISets(2), nuevomatch.WithMinCoverage(0.25))
+	default:
+		return nil, fmt.Errorf("unknown remainder %q (want tm, cs, or nc)", remainder)
+	}
+	opts = append(opts, nuevomatch.WithRQRMI(nuevomatch.RQRMIConfig{TargetError: maxErr}))
+	return opts, nil
+}
+
+func printTableStats(t *nuevomatch.Table) {
+	st := t.Stats()
+	fmt.Printf("table: %d iSets (fields %v, sizes %v), coverage %.1f%%, remainder %d rules, max search distance %d\n",
+		t.NumISets(), st.ISetFields, st.ISetSizes, st.Coverage*100, st.RemainderSize, st.MaxSearchDistance)
+	fmt.Printf("memory: iSet models %d B, remainder index %d B (total %d B)\n",
+		t.RQRMIBytes(), t.RemainderBytes(), t.MemoryFootprint())
+}
+
+// cmdBuild trains a table and persists it: the offline, expensive half of
+// the lifecycle.
+func cmdBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	var (
+		rulesPath = fs.String("rules", "", "ClassBench-format rule file (or use -gen)")
+		gen       = fs.String("gen", "", "generate rules from a ClassBench profile (acl1..acl5, fw1..fw5, ipc1, ipc2)")
+		size      = fs.Int("size", 10000, "rule count for -gen")
+		remainder = fs.String("remainder", "tm", "remainder classifier: cs | nc | tm")
+		maxErr    = fs.Int("error", 64, "RQ-RMI maximum error threshold")
+		out       = fs.String("o", "table.nm", "output table artifact")
+	)
+	fs.Parse(args)
+
+	rs, err := ruleSource(*rulesPath, *gen, *size)
+	if err != nil {
+		fatal(err)
+	}
+	opts, err := buildOptions(*remainder, *maxErr)
 	if err != nil {
 		fatal(err)
 	}
 	start := time.Now()
-	engine, err := core.Build(rs, opt)
+	table, err := nuevomatch.Open(rs, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	st := engine.Stats()
-	fmt.Printf("build: %v total (%v training), %d iSets (fields %v, sizes %v)\n",
-		time.Since(start).Round(time.Millisecond), st.TrainingTime.Round(time.Millisecond),
-		engine.NumISets(), st.ISetFields, st.ISetSizes)
-	fmt.Printf("coverage: %.1f%%, remainder: %d rules, max search distance: %d\n",
-		st.Coverage*100, st.RemainderSize, st.MaxSearchDistance)
-	fmt.Printf("memory: iSet models %d B, remainder index %d B (total %d B)\n",
-		engine.RQRMIBytes(), engine.RemainderBytes(), engine.MemoryFootprint())
+	defer table.Close()
+	buildTime := time.Since(start)
+	fmt.Printf("build: %v total (%v training)\n",
+		buildTime.Round(time.Millisecond), table.Stats().TrainingTime.Round(time.Millisecond))
+	printTableStats(table)
 
+	start = time.Now()
+	if err := table.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved %s: %d B in %v (a later `nmctl serve -load %s` skips the %v of training)\n",
+		*out, info.Size(), time.Since(start).Round(time.Millisecond), *out, buildTime.Round(time.Millisecond))
+}
+
+// cmdServe loads a persisted table — the warm start — and serves it:
+// one-shot classification (-trace / -bench) or the autopilot churn workload
+// (-churn).
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		load      = fs.String("load", "", "table artifact from `nmctl build` (required)")
+		tracePath = fs.String("trace", "", "trace file from tracegen (optional)")
+		bench     = fs.Bool("bench", false, "measure throughput on a generated uniform trace")
+		churn     = fs.Int("churn", 0, "churn serve mode: run this many interleaved insert/delete/lookup ops under the autopilot")
+		maxUpd    = fs.Int("retrain-updates", 0, "autopilot: retrain after this many updates (0 = policy default)")
+		maxFrac   = fs.Float64("retrain-remfrac", 0, "autopilot: retrain when the remainder fraction exceeds this (0 = policy default)")
+		persist   = fs.String("persist", "", "re-save the table here after every autopilot retrain")
+		verify    = fs.Bool("verify", false, "churn mode: verify every lookup against a linear reference")
+		seed      = fs.Int64("seed", 1, "random seed")
+	)
+	fs.Parse(args)
+	if *load == "" {
+		fatal(fmt.Errorf("serve requires -load table.nm"))
+	}
+
+	var opts []nuevomatch.Option
 	if *churn > 0 {
-		runChurn(engine, rs, *churn, *seed, *verify, core.AutopilotPolicy{
+		policy := nuevomatch.AutopilotPolicy{
 			MaxUpdates:           *maxUpd,
 			MaxRemainderFraction: *maxFrac,
-		})
+		}
+		opts = append(opts, nuevomatch.WithAutopilot(policy))
+		if *persist != "" {
+			opts = append(opts, nuevomatch.WithAutopilotPersist(*persist))
+		}
+	}
+	start := time.Now()
+	table, err := nuevomatch.LoadFile(*load, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer table.Close()
+	st := table.Stats()
+	fmt.Printf("loaded %s in %v (original training: %v — skipped)\n",
+		*load, time.Since(start).Round(time.Millisecond), st.TrainingTime.Round(time.Millisecond))
+	printTableStats(table)
+
+	rs := table.Engine().LiveRuleSet()
+	if *churn > 0 {
+		runChurn(table, rs, *churn, *seed, *verify)
 		return
 	}
 
@@ -114,11 +216,79 @@ func main() {
 	default:
 		return
 	}
+	classify(table, pkts)
+}
 
+// cmdLegacy is the original combined mode: build in-process, then classify
+// or churn, without persistence.
+func cmdLegacy(args []string) {
+	fs := flag.NewFlagSet("nmctl", flag.ExitOnError)
+	var (
+		rulesPath = fs.String("rules", "", "ClassBench-format rule file (or use -gen)")
+		gen       = fs.String("gen", "", "generate rules from a ClassBench profile (acl1..acl5, fw1..fw5, ipc1, ipc2) instead of -rules")
+		size      = fs.Int("size", 10000, "rule count for -gen")
+		tracePath = fs.String("trace", "", "trace file from tracegen (optional)")
+		remainder = fs.String("remainder", "tm", "remainder classifier: cs | nc | tm")
+		maxErr    = fs.Int("error", 64, "RQ-RMI maximum error threshold")
+		bench     = fs.Bool("bench", false, "measure throughput on a generated uniform trace")
+		churn     = fs.Int("churn", 0, "churn serve mode: run this many interleaved insert/delete/lookup ops under the autopilot")
+		maxUpd    = fs.Int("retrain-updates", 0, "autopilot: retrain after this many updates (0 = policy default)")
+		maxFrac   = fs.Float64("retrain-remfrac", 0, "autopilot: retrain when the remainder fraction exceeds this (0 = policy default)")
+		verify    = fs.Bool("verify", false, "churn mode: verify every lookup against a linear reference")
+		seed      = fs.Int64("seed", 1, "random seed")
+	)
+	fs.Parse(args)
+
+	rs, err := ruleSource(*rulesPath, *gen, *size)
+	if err != nil {
+		fatal(err)
+	}
+	opts, err := buildOptions(*remainder, *maxErr)
+	if err != nil {
+		fatal(err)
+	}
+	if *churn > 0 {
+		opts = append(opts, nuevomatch.WithAutopilot(nuevomatch.AutopilotPolicy{
+			MaxUpdates:           *maxUpd,
+			MaxRemainderFraction: *maxFrac,
+		}))
+	}
+	start := time.Now()
+	table, err := nuevomatch.Open(rs, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer table.Close()
+	fmt.Printf("build: %v total (%v training)\n",
+		time.Since(start).Round(time.Millisecond), table.Stats().TrainingTime.Round(time.Millisecond))
+	printTableStats(table)
+
+	if *churn > 0 {
+		runChurn(table, rs, *churn, *seed, *verify)
+		return
+	}
+
+	var pkts []rules.Packet
+	switch {
+	case *tracePath != "":
+		pkts, err = readTrace(*tracePath, rs.NumFields)
+		if err != nil {
+			fatal(err)
+		}
+	case *bench:
+		rng := rand.New(rand.NewSource(*seed))
+		pkts = trace.Uniform(rng, rs, 100000).Packets
+	default:
+		return
+	}
+	classify(table, pkts)
+}
+
+func classify(t *nuevomatch.Table, pkts []rules.Packet) {
 	matched := 0
-	start = time.Now()
+	start := time.Now()
 	for _, p := range pkts {
-		if engine.Lookup(p) >= 0 {
+		if t.Lookup(p) >= 0 {
 			matched++
 		}
 	}
@@ -129,19 +299,19 @@ func main() {
 }
 
 // runChurn is the serve-style churn mode: a sustained update/lookup stream
-// with the autopilot retraining in the background, reporting progress about
-// once a second.
-func runChurn(e *core.Engine, rs *rules.RuleSet, ops int, seed int64, verify bool, policy core.AutopilotPolicy) {
+// with the table's autopilot retraining in the background, reporting
+// progress about once a second.
+func runChurn(t *nuevomatch.Table, rs *rules.RuleSet, ops int, seed int64, verify bool) {
+	ap := t.Autopilot()
+	if ap == nil {
+		fatal(fmt.Errorf("churn mode requires an autopilot-configured table"))
+	}
 	rng := rand.New(rand.NewSource(seed))
 	mirror := rs.Clone()
 	prioOf := make(map[int]int32, mirror.Len())
 	for i := range mirror.Rules {
 		prioOf[mirror.Rules[i].ID] = mirror.Rules[i].Priority
 	}
-
-	ap := core.NewAutopilot(e, policy)
-	ap.Start()
-	defer ap.Stop()
 	fmt.Printf("churn: %d ops, policy %+v\n", ops, ap.Policy())
 
 	nextID := 1 << 24
@@ -161,7 +331,7 @@ func runChurn(e *core.Engine, rs *rules.RuleSet, ops int, seed int64, verify boo
 					p[d] = rng.Uint32()
 				}
 			}
-			got := e.Lookup(p)
+			got := t.Lookup(p)
 			if verify {
 				// File-loaded rule-sets may carry duplicate priorities, so
 				// compare by winning priority, not rule identity.
@@ -181,7 +351,7 @@ func runChurn(e *core.Engine, rs *rules.RuleSet, ops int, seed int64, verify boo
 			if mirror.NumFields == rules.NumFiveTupleFields {
 				r.Fields[rules.FieldDstPort] = rules.ExactRange(uint32(rng.Intn(65536)))
 			}
-			if err := e.Insert(r); err != nil {
+			if err := t.Insert(r); err != nil {
 				fatal(err)
 			}
 			mirror.Add(r)
@@ -193,7 +363,7 @@ func runChurn(e *core.Engine, rs *rules.RuleSet, ops int, seed int64, verify boo
 			}
 			i := rng.Intn(mirror.Len())
 			id := mirror.Rules[i].ID
-			if err := e.Delete(id); err != nil {
+			if err := t.Delete(id); err != nil {
 				fatal(err)
 			}
 			delete(prioOf, id)
@@ -203,7 +373,7 @@ func runChurn(e *core.Engine, rs *rules.RuleSet, ops int, seed int64, verify boo
 		}
 		if now := time.Now(); now.Sub(lastReport) >= time.Second {
 			st := ap.Stats()
-			us := e.Updates()
+			us := t.Updates()
 			fmt.Printf("  %7d ops (%6.0f ops/s)  live %6d  remfrac %.2f  retrains %d  last swap %v  trigger %q\n",
 				op+1, float64(op+1-lastOps)/now.Sub(lastReport).Seconds(),
 				us.LiveRules, us.RemainderFraction, st.Retrains, st.LastSwap.Round(time.Microsecond), st.LastTrigger)
@@ -215,15 +385,17 @@ func runChurn(e *core.Engine, rs *rules.RuleSet, ops int, seed int64, verify boo
 			fatal(err)
 		}
 	}
-	ap.Stop()
 
 	st := ap.Stats()
-	us := e.Updates()
+	us := t.Updates()
 	elapsed := time.Since(start)
 	fmt.Printf("churn done: %d ops in %v (%.0f ops/s): %d lookups, %d inserts, %d deletes\n",
 		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds(), lookups, inserts, deletes)
 	fmt.Printf("autopilot: %d retrains (%d failures), %d journaled updates replayed, max swap %v, total train %v\n",
 		st.Retrains, st.Failures, st.Replayed, st.MaxSwap.Round(time.Microsecond), st.TotalTrain.Round(time.Millisecond))
+	if st.PersistFailures > 0 {
+		fmt.Printf("autopilot: %d persist failures (last: %s)\n", st.PersistFailures, st.LastPersistError)
+	}
 	fmt.Printf("final: live %d rules, remainder fraction %.2f\n", us.LiveRules, us.RemainderFraction)
 	if verify {
 		fmt.Printf("verification: %d mismatches over %d lookups\n", mismatches, lookups)

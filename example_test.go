@@ -1,0 +1,111 @@
+package nuevomatch_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"nuevomatch"
+)
+
+// figure2 builds the paper's Figure 2 classifier: two fields (IPv4 address,
+// port), five overlapping rules, priorities 1 (highest) to 5.
+func figure2() *nuevomatch.RuleSet {
+	ip := func(s string) uint32 {
+		v, err := nuevomatch.ParseIPv4(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	}
+	rs := nuevomatch.NewRuleSet(2)
+	rs.AddAuto(nuevomatch.PrefixRange(ip("10.10.0.0"), 16), nuevomatch.Range{Lo: 10, Hi: 18})
+	rs.AddAuto(nuevomatch.PrefixRange(ip("10.10.1.0"), 24), nuevomatch.Range{Lo: 15, Hi: 25})
+	rs.AddAuto(nuevomatch.PrefixRange(ip("10.0.0.0"), 8), nuevomatch.Range{Lo: 5, Hi: 8})
+	rs.AddAuto(nuevomatch.PrefixRange(ip("10.10.3.0"), 24), nuevomatch.Range{Lo: 7, Hi: 20})
+	rs.AddAuto(nuevomatch.ExactRange(ip("10.10.3.100")), nuevomatch.ExactRange(19))
+	return rs
+}
+
+// Open trains a table and serves lookups — the paper's worked example:
+// 10.10.3.100:19 matches R3 and R4, and R3 wins on priority.
+func ExampleOpen() {
+	table, err := nuevomatch.Open(figure2())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer table.Close()
+
+	addr, _ := nuevomatch.ParseIPv4("10.10.3.100")
+	fmt.Println(table.Lookup(nuevomatch.Packet{addr, 19}))
+	addr, _ = nuevomatch.ParseIPv4("10.9.0.1")
+	fmt.Println(table.Lookup(nuevomatch.Packet{addr, 6}))
+	addr, _ = nuevomatch.ParseIPv4("192.168.1.1")
+	fmt.Println(table.Lookup(nuevomatch.Packet{addr, 80}))
+	// Output:
+	// 3
+	// 2
+	// -1
+}
+
+// Save and Load round-trip a trained table: the load reconstructs a
+// lookup-identical classifier without retraining — the production
+// build-offline / serve-warm split.
+func ExampleTable_Save() {
+	table, err := nuevomatch.Open(figure2())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer table.Close()
+
+	var artifact bytes.Buffer
+	if _, err := table.Save(&artifact); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := nuevomatch.Load(&artifact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer loaded.Close()
+
+	addr, _ := nuevomatch.ParseIPv4("10.10.3.100")
+	pkt := nuevomatch.Packet{addr, 19}
+	fmt.Println(table.Lookup(pkt) == loaded.Lookup(pkt))
+	// Output:
+	// true
+}
+
+// Tables stay live after loading: updates apply online and an autopilot
+// policy retrains in place when drift accumulates.
+func ExampleWithAutopilot() {
+	table, err := nuevomatch.Open(figure2(),
+		nuevomatch.WithAutopilot(nuevomatch.AutopilotPolicy{
+			MaxUpdates:   4,
+			MinLiveRules: 1,
+			Interval:     -1, // no background watcher: Check drives retrains
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer table.Close()
+
+	for i := 0; i < 4; i++ {
+		err := table.Insert(nuevomatch.Rule{
+			ID:       100 + i,
+			Priority: int32(100 + i),
+			Fields:   []nuevomatch.Range{nuevomatch.FullRange(), nuevomatch.ExactRange(uint32(9000 + i))},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	retrained, err := table.Autopilot().Check()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(retrained)
+	fmt.Println(table.Lookup(nuevomatch.Packet{1, 9002}))
+	// Output:
+	// true
+	// 102
+}

@@ -1,14 +1,17 @@
 // ACL firewall: the paper's motivating scenario — a virtual network
 // function classifying packets against a large access-control list. This
-// example generates a ClassBench-style ACL, builds NuevoMatch with a
-// TupleMerge remainder, verifies it against the linear-scan reference, and
-// compares throughput and index memory against TupleMerge alone.
+// example generates a ClassBench-style ACL, builds a NuevoMatch table with
+// a TupleMerge remainder, verifies it against the linear-scan reference,
+// compares throughput and index memory against TupleMerge alone, and shows
+// the build-offline / load-warm split that skips retraining on restart.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"time"
 
 	"nuevomatch"
@@ -38,30 +41,50 @@ func main() {
 	// NuevoMatch accelerating TupleMerge (the paper's default pairing:
 	// up to 4 iSets, 5% minimum coverage).
 	nmStart := time.Now()
-	engine, err := nuevomatch.Build(rs, nuevomatch.Options{
-		MaxISets:    4,
-		MinCoverage: 0.05,
-		Remainder:   nuevomatch.TupleMerge,
-	})
+	table, err := nuevomatch.Open(rs,
+		nuevomatch.WithMaxISets(4),
+		nuevomatch.WithMinCoverage(0.05),
+		nuevomatch.WithRemainder(nuevomatch.TupleMerge))
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := engine.Stats()
+	defer table.Close()
+	buildTime := time.Since(nmStart)
+	st := table.Stats()
 	fmt.Printf("nuevomatch: built in %v (training %v), %d iSets covering %.1f%%\n",
-		time.Since(nmStart).Round(time.Millisecond), st.TrainingTime.Round(time.Millisecond),
-		engine.NumISets(), st.Coverage*100)
+		buildTime.Round(time.Millisecond), st.TrainingTime.Round(time.Millisecond),
+		table.NumISets(), st.Coverage*100)
 	fmt.Printf("nuevomatch: models %d KB + remainder %d KB (vs %d KB tm alone)\n",
-		engine.RQRMIBytes()/1024, engine.RemainderBytes()/1024, tm.MemoryFootprint()/1024)
+		table.RQRMIBytes()/1024, table.RemainderBytes()/1024, tm.MemoryFootprint()/1024)
 
 	// Correctness spot-check against the linear reference.
 	rng := rand.New(rand.NewSource(42))
 	tr := trace.Uniform(rng, rs, 50000)
 	for i, p := range tr.Packets[:5000] {
-		if got, want := engine.Lookup(p), rs.MatchID(p); got != want {
+		if got, want := table.Lookup(p), rs.MatchID(p); got != want {
 			log.Fatalf("packet %d: nuevomatch says %d, reference says %d", i, got, want)
 		}
 	}
 	fmt.Println("verified 5000 packets against the linear-scan reference")
+
+	// Persistence: the training above happens once, offline; every restart
+	// loads the artifact in milliseconds instead.
+	path := filepath.Join(os.TempDir(), "aclfirewall.nm")
+	if err := table.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	loadStart := time.Now()
+	loaded, err := nuevomatch.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer loaded.Close()
+	defer os.Remove(path)
+	loadTime := time.Since(loadStart)
+	fmt.Printf("persisted and reloaded: %v load vs %v build (%.0fx), lookups identical: %v\n",
+		loadTime.Round(time.Millisecond), buildTime.Round(time.Millisecond),
+		float64(buildTime)/float64(loadTime),
+		loaded.Lookup(tr.Packets[0]) == table.Lookup(tr.Packets[0]))
 
 	// Throughput comparison on a uniform trace (the paper's worst case).
 	measure := func(name string, lookup func(nuevomatch.Packet) int) float64 {
@@ -77,6 +100,6 @@ func main() {
 		return pps
 	}
 	tmPPS := measure("tuplemerge", tm.Lookup)
-	nmPPS := measure("nuevomatch", engine.Lookup)
+	nmPPS := measure("nuevomatch", table.Lookup)
 	fmt.Printf("speedup: %.2fx\n", nmPPS/tmPPS)
 }

@@ -22,14 +22,14 @@ func main() {
 	rs := stanford.Generate(0, nPrefixes)
 	fmt.Printf("generated %d forwarding prefixes (Stanford-backbone profile)\n", rs.Len())
 
-	engine, err := nuevomatch.Build(rs, nuevomatch.Options{
-		MaxISets:    4,
-		MinCoverage: 0.05,
-		Remainder:   nuevomatch.TupleMerge,
-	})
+	engine, err := nuevomatch.Open(rs,
+		nuevomatch.WithMaxISets(4),
+		nuevomatch.WithMinCoverage(0.05),
+		nuevomatch.WithRemainder(nuevomatch.TupleMerge))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer engine.Close()
 	st := engine.Stats()
 	fmt.Printf("iSets: %d, sizes %v\n", engine.NumISets(), st.ISetSizes)
 	cum := 0.0

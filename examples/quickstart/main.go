@@ -1,9 +1,10 @@
-// Quickstart: build a NuevoMatch engine over a handful of rules — the
-// paper's Figure 2 classifier — and classify packets through the public
-// API.
+// Quickstart: build a NuevoMatch table over a handful of rules — the
+// paper's Figure 2 classifier — classify packets, and round-trip the table
+// through its serialized form, all through the public API.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 
@@ -28,18 +29,19 @@ func main() {
 	rs.AddAuto(nuevomatch.PrefixRange(ip("10.10.3.0"), 24), nuevomatch.Range{Lo: 7, Hi: 20})  // R3 -> a4
 	rs.AddAuto(nuevomatch.ExactRange(ip("10.10.3.100")), nuevomatch.ExactRange(19))           // R4 -> a5
 
-	engine, err := nuevomatch.Build(rs, nuevomatch.Options{})
+	table, err := nuevomatch.Open(rs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := engine.Stats()
+	defer table.Close()
+	st := table.Stats()
 	fmt.Printf("built: %d iSets, coverage %.0f%%, remainder %d rules, %d B of models\n",
-		engine.NumISets(), st.Coverage*100, st.RemainderSize, engine.RQRMIBytes())
+		table.NumISets(), st.Coverage*100, st.RemainderSize, table.RQRMIBytes())
 
 	actions := []string{"a1", "a2", "a3", "a4", "a5"}
-	classify := func(addr string, port uint32) {
+	classify := func(t *nuevomatch.Table, addr string, port uint32) {
 		pkt := nuevomatch.Packet{ip(addr), port}
-		if id := engine.Lookup(pkt); id >= 0 {
+		if id := t.Lookup(pkt); id >= 0 {
 			fmt.Printf("%s:%-3d -> R%d (%s)\n", addr, port, id, actions[id])
 		} else {
 			fmt.Printf("%s:%-3d -> no match\n", addr, port)
@@ -48,8 +50,24 @@ func main() {
 
 	// The paper's worked example: 10.10.3.100:19 matches R3 and R4; R3
 	// wins on priority, so the action is a4.
-	classify("10.10.3.100", 19)
-	classify("10.10.1.50", 20) // R1 -> a2
-	classify("10.9.0.1", 6)    // R2 -> a3
-	classify("192.168.1.1", 80)
+	classify(table, "10.10.3.100", 19)
+	classify(table, "10.10.1.50", 20) // R1 -> a2
+	classify(table, "10.9.0.1", 6)    // R2 -> a3
+	classify(table, "192.168.1.1", 80)
+
+	// Persistence: training happens once, the artifact serves forever.
+	// (Production writes a file — table.SaveFile("figure2.nm") — and warm
+	// starts with nuevomatch.LoadFile.)
+	var artifact bytes.Buffer
+	n, err := table.Save(&artifact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := nuevomatch.Load(&artifact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer loaded.Close()
+	fmt.Printf("reloaded %d B artifact without retraining:\n", n)
+	classify(loaded, "10.10.3.100", 19)
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"nuevomatch/internal/classbench"
+	"nuevomatch/internal/core"
 	"nuevomatch/internal/rules"
 	"nuevomatch/internal/trace"
 )
@@ -48,10 +50,29 @@ type BenchArtifact struct {
 	// number the batched-inference refactor is accountable for.
 	BatchSpeedup float64 `json:"batch_speedup"`
 
+	// Persistence records the table codec's amortization story: what Build
+	// spent training versus what Save and a warm-start Load cost on the same
+	// host, with the loaded table verified lookup-identical against the
+	// linear reference.
+	Persistence PersistenceReport `json:"persistence"`
+
 	// Churn, when present, is the autopilot churn experiment: sustained
 	// insert/delete/lookup workloads with drift-driven background retraining
 	// (retrain counts, swap latency, concurrent-lookup availability).
 	Churn *ChurnReport `json:"churn,omitempty"`
+}
+
+// PersistenceReport measures the Save → Load round trip of the built
+// engine. LoadSpeedup is BuildSeconds / LoadSeconds — the factor the
+// persistence lifecycle amortizes away on every restart.
+type PersistenceReport struct {
+	BuildSeconds    float64 `json:"build_seconds"`
+	SaveSeconds     float64 `json:"save_seconds"`
+	LoadSeconds     float64 `json:"load_seconds"`
+	TableBytes      int     `json:"table_bytes"`
+	LoadSpeedup     float64 `json:"load_speedup"`
+	VerifiedPackets int     `json:"verified_packets"`
+	Mismatches      int     `json:"mismatches"`
 }
 
 // AttachChurn runs the churn experiment with opsPerProfile operations per
@@ -96,10 +117,12 @@ func RunBenchArtifact(profileName string, size, traceLen int, seed int64) (*Benc
 	rng := rand.New(rand.NewSource(seed))
 	tr := trace.Uniform(rng, rs, traceLen)
 
+	buildStart := time.Now()
 	e, err := BuildNM(TM, rs)
 	if err != nil {
 		return nil, err
 	}
+	buildTime := time.Since(buildStart)
 
 	a := &BenchArtifact{
 		Name:      fmt.Sprintf("%s_%d", profileName, size),
@@ -120,6 +143,12 @@ func RunBenchArtifact(profileName string, size, traceLen int, seed int64) (*Benc
 	a.Engine.ISetBytes = e.RQRMIBytes()
 	a.Engine.RemainderBytes = e.RemainderBytes()
 
+	per, err := measurePersistence(e, buildTime, rs, tr.Packets)
+	if err != nil {
+		return nil, fmt.Errorf("persistence: %w", err)
+	}
+	a.Persistence = per
+
 	a.Lookup = measureScalar(e, tr.Packets)
 	a.LookupBatch = measureBatch(tr.Packets, BatchSize, func(pkts []rules.Packet, out []int) {
 		e.LookupBatch(pkts, out)
@@ -131,6 +160,50 @@ func RunBenchArtifact(profileName string, size, traceLen int, seed int64) (*Benc
 		a.BatchSpeedup = a.LookupBatch.ThroughputPPS / a.Lookup.ThroughputPPS
 	}
 	return a, nil
+}
+
+// measurePersistence runs the Save → Load round trip on the freshly built
+// engine and verifies the loaded engine against the linear reference on the
+// whole trace. Load is averaged over a few runs (it is milliseconds against
+// a build of seconds, so a single sample would be noise-dominated).
+func measurePersistence(e *core.Engine, buildTime time.Duration, rs *rules.RuleSet, pkts []rules.Packet) (PersistenceReport, error) {
+	var rep PersistenceReport
+	rep.BuildSeconds = buildTime.Seconds()
+
+	var buf bytes.Buffer
+	saveStart := time.Now()
+	n, err := e.WriteTo(&buf)
+	if err != nil {
+		return rep, err
+	}
+	rep.SaveSeconds = time.Since(saveStart).Seconds()
+	rep.TableBytes = int(n)
+
+	const loadRuns = 5
+	var loaded *core.Engine
+	loadStart := time.Now()
+	for i := 0; i < loadRuns; i++ {
+		if loaded != nil {
+			loaded.Close()
+		}
+		loaded, err = core.ReadEngine(bytes.NewReader(buf.Bytes()), nil)
+		if err != nil {
+			return rep, err
+		}
+	}
+	rep.LoadSeconds = time.Since(loadStart).Seconds() / loadRuns
+	defer loaded.Close()
+	if rep.LoadSeconds > 0 {
+		rep.LoadSpeedup = rep.BuildSeconds / rep.LoadSeconds
+	}
+
+	for _, p := range pkts {
+		if loaded.Lookup(p) != rs.MatchID(p) {
+			rep.Mismatches++
+		}
+	}
+	rep.VerifiedPackets = len(pkts)
+	return rep, nil
 }
 
 // WriteBenchArtifact writes BENCH_<name>.json into dir and returns the path.

@@ -64,7 +64,11 @@ func (c ChurnConfig) withDefaults() ChurnConfig {
 	if c.Ops == 0 {
 		c.Ops = d.Ops
 	}
-	if c.Policy == (core.AutopilotPolicy{}) {
+	// The policy struct carries a func field (AfterRetrain) and cannot be
+	// compared wholesale; an all-zero trigger set means "unset".
+	if c.Policy.MaxUpdates == 0 && c.Policy.MaxRemainderFraction == 0 &&
+		c.Policy.MaxOverlayCompactions == 0 && c.Policy.MinLiveRules == 0 &&
+		c.Policy.MinInterval == 0 && c.Policy.Interval == 0 && c.Policy.AfterRetrain == nil {
 		// Trigger on update counts only: the coverage trigger's trip points
 		// depend on each profile's achievable coverage, and the artifact
 		// should count deterministic drift-driven retrains.

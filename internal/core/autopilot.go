@@ -40,6 +40,14 @@ type AutopilotPolicy struct {
 	// Start. Zero means 250ms; a negative value disables the watcher
 	// entirely (Start becomes a no-op — drive Check manually).
 	Interval time.Duration
+	// AfterRetrain, when non-nil, runs after every successful retrain, on
+	// the goroutine that ran it and outside the autopilot's lock — the
+	// persistence hook: a supervised service saves the retrained engine
+	// (Engine.WriteTo) so a restart warm-starts from the retrained state
+	// instead of the stale artifact it booted from. A hook error does not
+	// undo the retrain (the swap already published); it is recorded in
+	// AutopilotStats.PersistFailures/LastPersistError.
+	AfterRetrain func(RetrainStats) error
 }
 
 // withDefaults resolves the zero values.
@@ -104,6 +112,10 @@ type AutopilotStats struct {
 	LastTrigger string
 	// LastError is the message of the last failed retrain, if any.
 	LastError string
+	// PersistFailures counts AfterRetrain hook errors; LastPersistError is
+	// the most recent one. The retrains themselves still count as successes.
+	PersistFailures  int
+	LastPersistError string
 	// LastTrain/LastSwap are the durations of the most recent retrain's
 	// training and swap phases; MaxSwap and TotalTrain aggregate them.
 	LastTrain  time.Duration
@@ -244,12 +256,12 @@ func (ap *Autopilot) Check() (bool, error) {
 	rst, err := ap.e.Retrain()
 
 	ap.mu.Lock()
-	defer ap.mu.Unlock()
 	ap.busy = false
 	if err != nil {
 		ap.lastFail = time.Now()
 		ap.stats.Failures++
 		ap.stats.LastError = err.Error()
+		ap.mu.Unlock()
 		return false, err
 	}
 	ap.lastFail = time.Time{}
@@ -263,6 +275,19 @@ func (ap *Autopilot) Check() (bool, error) {
 	ap.stats.TotalTrain += rst.TrainTime
 	if rst.SwapTime > ap.stats.MaxSwap {
 		ap.stats.MaxSwap = rst.SwapTime
+	}
+	hook := ap.policy.AfterRetrain
+	ap.mu.Unlock()
+
+	// The persistence hook runs outside the lock: it typically serializes
+	// the whole engine, which must not block Stats() or a Stop() in flight.
+	if hook != nil {
+		if herr := hook(rst); herr != nil {
+			ap.mu.Lock()
+			ap.stats.PersistFailures++
+			ap.stats.LastPersistError = herr.Error()
+			ap.mu.Unlock()
+		}
 	}
 	return true, nil
 }

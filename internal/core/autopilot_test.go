@@ -572,6 +572,17 @@ func TestAutopilotSustainedChurn(t *testing.T) {
 			if st.Failures > 0 {
 				t.Fatalf("autopilot retrain failures: %+v", st)
 			}
+			// Backstop for the batched journal replay: with thousands of
+			// journaled updates per swap, a regression to per-op
+			// O(journal × remainder) replay pushes the write-side stall
+			// into the hundreds of milliseconds even on a quiet host. The
+			// precise structural bound (single publish, linear allocation)
+			// is asserted in TestBatchReplayEquivalence; this catches a
+			// quadratic stall at acceptance scale.
+			if st.MaxSwap > time.Second {
+				t.Errorf("max swap stall %v with %d replayed updates — journal replay no longer batched?",
+					st.MaxSwap, st.Replayed)
+			}
 			d.verifySweep(800)
 			t.Logf("%s: %d ops (%d lookups, %d inserts, %d deletes), %d retrains, last trigger %q, max swap %v, total train %v, replayed %d",
 				name, d.ops, d.lookups, d.inserts, d.deletes,

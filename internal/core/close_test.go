@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"nuevomatch/internal/rules"
+)
+
+// waitGoroutinesAtMost polls until the goroutine count drops to the target
+// (workers exit asynchronously after their job channel closes).
+func waitGoroutinesAtMost(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("still %d goroutines, want <= %d (leaked pooled workers?)", runtime.NumGoroutine(), n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCloseLifecycle is the regression test for the Table lifecycle
+// contract: double-Close is a no-op, every lookup path stays correct after
+// Close, and a post-Close LookupBatchParallel must not re-leak workers into
+// the drained pool.
+func TestCloseLifecycle(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2) // the parallel split engages only at >= 2
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(17))
+	rs := structuredRuleSet(rng, 400)
+	e, err := Build(rs.Clone(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pkts := make([]rules.Packet, 256)
+	for i := range pkts {
+		p := make(rules.Packet, rs.NumFields)
+		for d := range p {
+			p[d] = rng.Uint32()
+		}
+		pkts[i] = p
+	}
+	want := make([]int, len(pkts))
+	for i, p := range pkts {
+		want[i] = rs.MatchID(p)
+	}
+	out := make([]int, len(pkts))
+
+	// Warm the pool so Close has workers to retire.
+	e.LookupBatchParallel(pkts, out)
+	baseline := runtime.NumGoroutine()
+
+	e.Close()
+	e.Close() // double-Close must be a no-op
+	waitGoroutinesAtMost(t, baseline-1)
+	quiesced := runtime.NumGoroutine()
+
+	// Lookups after Close: correct on every path, and the transient workers
+	// the parallel path spawns must exit on release instead of repopulating
+	// the pool of a closed engine.
+	for round := 0; round < 5; round++ {
+		for i, p := range pkts[:32] {
+			if got := e.Lookup(p); got != want[i] {
+				t.Fatalf("post-Close Lookup(%v) = %d, want %d", p, got, want[i])
+			}
+		}
+		e.LookupBatch(pkts, out)
+		for i := range pkts {
+			if out[i] != want[i] {
+				t.Fatalf("post-Close LookupBatch[%d] = %d, want %d", i, out[i], want[i])
+			}
+		}
+		e.LookupBatchParallel(pkts, out)
+		for i := range pkts {
+			if out[i] != want[i] {
+				t.Fatalf("post-Close LookupBatchParallel[%d] = %d, want %d", i, out[i], want[i])
+			}
+		}
+	}
+	waitGoroutinesAtMost(t, quiesced)
+	select {
+	case <-e.parPool:
+		t.Fatal("closed engine re-pooled a worker")
+	default:
+	}
+	e.Close() // still a no-op after post-Close traffic
+}
+
+// TestCloseRacingParallelLookups hammers Close against concurrent parallel
+// lookups: no panic, no send-on-closed-channel, and no leaked workers once
+// everything settles.
+func TestCloseRacingParallelLookups(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(23))
+	rs := structuredRuleSet(rng, 200)
+	pkts := make([]rules.Packet, 128)
+	for i := range pkts {
+		p := make(rules.Packet, rs.NumFields)
+		for d := range p {
+			p[d] = rng.Uint32()
+		}
+		pkts[i] = p
+	}
+
+	base := runtime.NumGoroutine()
+	for iter := 0; iter < 20; iter++ {
+		e, err := Build(rs.Clone(), fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			out := make([]int, len(pkts))
+			for i := 0; i < 10; i++ {
+				e.LookupBatchParallel(pkts, out)
+			}
+		}()
+		e.Close()
+		<-done
+		e.Close()
+	}
+	// Every worker of all 20 closed engines must be gone (small slack for
+	// runtime goroutines that may have started meanwhile).
+	waitGoroutinesAtMost(t, base+1)
+}

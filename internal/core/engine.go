@@ -157,6 +157,9 @@ type Engine struct {
 	// parPool holds reusable iSet-inference workers for LookupBatchParallel
 	// so repeated calls reuse goroutines and buffers instead of spawning.
 	parPool chan *parWorker
+	// closed is set by Close: released workers terminate instead of pooling,
+	// so lookups after Close stay correct without leaking goroutines.
+	closed atomic.Bool
 
 	// retraining is set while a background Retrain is training a replacement
 	// engine off-lock; while it is set, every applied update is also appended
@@ -167,6 +170,9 @@ type Engine struct {
 
 	stats  BuildStats
 	ustats UpdateStats
+	// publishes counts snapshot publications (write-side bookkeeping; tests
+	// assert the batch journal replay publishes once, not once per op).
+	publishes int
 }
 
 type isetEntry struct {
@@ -305,6 +311,7 @@ func (e *Engine) publishLocked() {
 		isets:     e.isets,
 		rem:       newRemainderAdapter(e.remainder, e.remFrozen, e.remOverlay, e.remIDs, e.remPrios),
 	}
+	e.publishes++
 	e.snap.Store(s)
 }
 
@@ -440,22 +447,28 @@ func (e *Engine) grabParWorker() *parWorker {
 }
 
 // releaseParWorker returns a worker to the pool; surplus workers beyond the
-// pool's capacity exit instead of lingering.
+// pool's capacity — and every worker once the engine is closed — exit
+// instead of lingering.
 func (e *Engine) releaseParWorker(w *parWorker) {
+	if e.closed.Load() {
+		close(w.job)
+		return
+	}
 	select {
 	case e.parPool <- w:
+		// If Close ran between the check above and the send landing, its
+		// drain may have missed this worker; both sides drain after the flag
+		// flip (sequentially consistent), so one of them always sees it.
+		if e.closed.Load() {
+			e.drainParPool()
+		}
 	default:
 		close(w.job)
 	}
 }
 
-// Close releases the engine's pooled background workers. The engine stays
-// usable — a later LookupBatchParallel simply spawns fresh workers — but
-// callers retiring an engine (e.g. swapping in the result of Rebuild)
-// should Close it so its idle worker goroutines exit instead of lingering
-// for the process lifetime. Safe to call multiple times; must not race
-// in-flight LookupBatchParallel calls on the same engine.
-func (e *Engine) Close() {
+// drainParPool terminates every idle pooled worker.
+func (e *Engine) drainParPool() {
 	for {
 		select {
 		case w := <-e.parPool:
@@ -464,6 +477,17 @@ func (e *Engine) Close() {
 			return
 		}
 	}
+}
+
+// Close releases the engine's pooled background workers and stops the pool
+// from re-filling: lookups on any path remain safe after Close (the
+// published snapshot is immutable and LookupBatchParallel spawns transient
+// workers that exit when released), so a retired engine cannot leak
+// goroutines no matter which calls race its retirement. Safe to call any
+// number of times.
+func (e *Engine) Close() {
+	e.closed.Store(true)
+	e.drainParPool()
 }
 
 // LookupBatchParallel classifies a batch with the two-worker split of the

@@ -109,19 +109,15 @@ func (e *Engine) Retrain() (RetrainStats, error) {
 		return st, fmt.Errorf("core: retrain build: %w", err)
 	}
 	t1 := time.Now()
-	for _, op := range journal {
-		// Every journaled op was a valid transition on the serving engine
-		// and the replacement was built from the exact rule set the journal
-		// starts at, so replay cannot fail unless the engine's own
-		// bookkeeping is broken; in that case keep serving the old state.
-		if op.del {
-			err = fresh.Delete(op.id)
-		} else {
-			err = fresh.Insert(op.rule)
-		}
-		if err != nil {
-			return st, fmt.Errorf("core: retrain replay: %w", err)
-		}
+	// Every journaled op was a valid transition on the serving engine and
+	// the replacement was built from the exact rule set the journal starts
+	// at, so replay cannot fail unless the engine's own bookkeeping is
+	// broken; in that case keep serving the old state. The whole journal is
+	// folded in as one bulk pass — O(journal + remainder), not O(journal ×
+	// remainder) of per-op copy-on-write — because fresh is still private:
+	// no snapshot of it is ever observed until adoptLocked publishes.
+	if err := replayJournal(fresh, journal); err != nil {
+		return st, fmt.Errorf("core: retrain replay: %w", err)
 	}
 	st.Replayed = len(journal)
 	e.adoptLocked(fresh)
@@ -129,6 +125,149 @@ func (e *Engine) Retrain() (RetrainStats, error) {
 	st.RulesAfter = len(e.prioID)
 	st.CoverageAfter = 1 - e.updateStatsLocked().RemainderFraction
 	return st, nil
+}
+
+// netJournalEntry is the folded effect of every journaled op touching one
+// rule ID: at most one deletion of a rule that pre-exists in the replacement
+// build, and at most one surviving insert (later ops on the same ID collapse
+// earlier ones — an insert followed by a delete vanishes, a delete followed
+// by an insert is the §3.9 modify).
+type netJournalEntry struct {
+	id       int
+	delBuilt bool
+	insert   bool
+	rule     rules.Rule
+}
+
+// replayJournal folds the journal into the freshly built replacement engine
+// as one bulk pass instead of one public update per op. fresh is private to
+// the retrain (it never escaped Build), so its state is edited directly and
+// exactly one snapshot publication happens — in adoptLocked, after the
+// journal is in. The drift counters count gross journal ops, matching what
+// per-op replay recorded: every replayed op is real post-build drift and
+// keeps counting toward the next retrain trigger.
+func replayJournal(fresh *Engine, journal []journalOp) error {
+	if len(journal) == 0 {
+		return nil
+	}
+
+	// Pass 1: net effect per rule ID, in first-touch order.
+	net := make(map[int]*netJournalEntry, len(journal))
+	order := make([]*netJournalEntry, 0, len(journal))
+	touch := func(id int) *netJournalEntry {
+		n := net[id]
+		if n == nil {
+			n = &netJournalEntry{id: id}
+			net[id] = n
+			order = append(order, n)
+		}
+		return n
+	}
+	var grossIns, grossDelISet, grossDelRem int
+	for _, op := range journal {
+		if !op.del {
+			n := touch(op.rule.ID)
+			if n.insert {
+				return fmt.Errorf("journal inserts rule %d twice", op.rule.ID)
+			}
+			n.insert = true
+			n.rule = op.rule
+			grossIns++
+			continue
+		}
+		n := touch(op.id)
+		switch {
+		case n.insert:
+			// Deleting a journal-inserted rule: both ops vanish. The insert
+			// would have landed in the remainder, so that is where the
+			// serving engine counted the delete.
+			n.insert = false
+			n.rule = rules.Rule{}
+			grossDelRem++
+		case n.delBuilt:
+			return fmt.Errorf("journal deletes rule %d twice", op.id)
+		default:
+			n.delBuilt = true
+			if _, inModel := fresh.inISet[op.id]; inModel {
+				grossDelISet++
+			} else {
+				grossDelRem++
+			}
+		}
+	}
+
+	// Pass 2: deletions of pre-existing rules. iSet deletions mark the
+	// metadata dead — in place, legal only because no snapshot of fresh is
+	// live — and remainder deletions drop out of the classifier and the
+	// remainder rule list in one filter.
+	remDel := make(map[int]bool)
+	for _, n := range order {
+		if !n.delBuilt {
+			continue
+		}
+		if !fresh.live[n.id] {
+			return fmt.Errorf("journal deletes unknown rule %d", n.id)
+		}
+		if _, inModel := fresh.inISet[n.id]; inModel {
+			fresh.meta[fresh.posID[n.id]].live = false
+			delete(fresh.inISet, n.id)
+		} else {
+			remDel[n.id] = true
+		}
+		delete(fresh.prioID, n.id)
+		delete(fresh.live, n.id)
+	}
+	var upd rules.Updatable
+	if len(remDel) > 0 || grossIns > 0 {
+		var ok bool
+		if upd, ok = fresh.remainder.(rules.Updatable); !ok {
+			return fmt.Errorf("remainder classifier %q does not support updates", fresh.remainder.Name())
+		}
+	}
+	if len(remDel) > 0 {
+		for id := range remDel {
+			if err := upd.Delete(id); err != nil {
+				return err
+			}
+		}
+		kept := fresh.remainderRules.Rules[:0]
+		for i := range fresh.remainderRules.Rules {
+			if !remDel[fresh.remainderRules.Rules[i].ID] {
+				kept = append(kept, fresh.remainderRules.Rules[i])
+			}
+		}
+		fresh.remainderRules.Rules = kept
+	}
+
+	// Pass 3: surviving inserts, in journal order. Rules were cloned when
+	// journaled, so they are safe to retain.
+	for _, n := range order {
+		if !n.insert {
+			continue
+		}
+		r := n.rule
+		if len(r.Fields) != fresh.rs.NumFields {
+			return fmt.Errorf("journaled rule %d has %d fields, engine expects %d", r.ID, len(r.Fields), fresh.rs.NumFields)
+		}
+		if _, dup := fresh.prioID[r.ID]; dup {
+			return fmt.Errorf("journaled rule %d duplicates a live ID", r.ID)
+		}
+		if err := upd.Insert(r); err != nil {
+			return err
+		}
+		fresh.remainderRules.Add(r)
+		fresh.prioID[r.ID] = r.Priority
+		fresh.live[r.ID] = true
+	}
+
+	// One bookkeeping rebuild instead of per-op copy-on-write: the sorted
+	// (id, priority) table and the frozen remainder are reconstructed once.
+	fresh.remIDs, fresh.remPrios = sortedRemainderTable(fresh.remainderRules)
+	fresh.refreezeRemainderLocked()
+	fresh.ustats.Inserted += grossIns
+	fresh.ustats.DeletedFromISets += grossDelISet
+	fresh.ustats.DeletedFromRemainder += grossDelRem
+	return nil
 }
 
 // adoptLocked moves the retrained engine's entire state — write side and

@@ -99,14 +99,25 @@ func ReadModel(r io.Reader) (*Model, error) {
 		if err := read(&w); err != nil {
 			return nil, err
 		}
+		// Must admit any width WriteTo can produce: training clamps widths
+		// to the entry count, so custom configs on very large iSets can
+		// legitimately exceed the paper's 512 (Table 4). Corrupt inputs are
+		// bounded by the incremental stage allocation below, not this cap.
 		if w == 0 || w > 1<<20 {
 			return nil, fmt.Errorf("rqrmi: implausible stage width %d", w)
 		}
 		m.widths[i] = int(w)
 	}
 	for si := range m.stages {
-		m.stages[si] = make([]submodel, m.widths[si])
-		for j := range m.stages[si] {
+		// Grow the stage as submodels actually decode (each consumes tens
+		// of bytes), so a corrupt width cannot force a giant up-front
+		// allocation.
+		initialStage := m.widths[si]
+		if initialStage > 1<<12 {
+			initialStage = 1 << 12
+		}
+		m.stages[si] = make([]submodel, 0, initialStage)
+		for j := 0; j < m.widths[si]; j++ {
 			var hidden uint32
 			if err := read(&hidden); err != nil {
 				return nil, err
@@ -135,17 +146,24 @@ func ReadModel(r io.Reader) (*Model, error) {
 			if err := read(&s.b2); err != nil {
 				return nil, err
 			}
-			m.stages[si][j] = s
+			m.stages[si] = append(m.stages[si], s)
 		}
 	}
 	var nEntries uint32
 	if err := read(&nEntries); err != nil {
 		return nil, err
 	}
-	m.entries = make([]Entry, nEntries)
-	m.los = make([]uint32, nEntries)
-	m.his = make([]uint32, nEntries)
-	for i := range m.entries {
+	// Grow the entry arrays as bytes actually arrive instead of trusting the
+	// count: a corrupt header claiming 4G entries must fail at EOF, not
+	// allocate gigabytes up front (ReadModel is on the fuzzed table path).
+	initial := int(nEntries)
+	if initial > 1<<16 {
+		initial = 1 << 16
+	}
+	m.entries = make([]Entry, 0, initial)
+	m.los = make([]uint32, 0, initial)
+	m.his = make([]uint32, 0, initial)
+	for i := 0; i < int(nEntries); i++ {
 		var lo, hi uint32
 		var val int64
 		if err := read(&lo); err != nil {
@@ -163,8 +181,9 @@ func ReadModel(r io.Reader) (*Model, error) {
 		if i > 0 && m.his[i-1] >= lo {
 			return nil, fmt.Errorf("rqrmi: entries %d and %d overlap", i-1, i)
 		}
-		m.entries[i] = Entry{Range: rules.Range{Lo: lo, Hi: hi}, Value: int(val)}
-		m.los[i], m.his[i] = lo, hi
+		m.entries = append(m.entries, Entry{Range: rules.Range{Lo: lo, Hi: hi}, Value: int(val)})
+		m.los = append(m.los, lo)
+		m.his = append(m.his, hi)
 	}
 	if nStages > 0 {
 		m.errs = make([]int32, m.widths[nStages-1])

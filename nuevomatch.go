@@ -5,6 +5,9 @@
 //
 // # Quickstart
 //
+// The package is organized around a serializable Table handle with a
+// Build → Save → Load lifecycle, configured by functional options:
+//
 //	rs := nuevomatch.NewRuleSet(nuevomatch.NumFiveTupleFields)
 //	rs.AddAuto(
 //	    nuevomatch.PrefixRange(ip, 24),   // source IP
@@ -13,19 +16,56 @@
 //	    nuevomatch.ExactRange(443),       // destination port
 //	    nuevomatch.ExactRange(6),         // protocol (TCP)
 //	)
-//	engine, err := nuevomatch.Build(rs, nuevomatch.Options{})
-//	id := engine.Lookup(pkt) // ID of the winning rule, -1 if none
+//	table, err := nuevomatch.Open(rs)     // trains the RQ-RMI models
+//	id := table.Lookup(pkt)               // winning rule ID, -1 if none
 //
-// The engine partitions the rules into iSets indexed by RQ-RMI neural
+// The table partitions the rules into iSets indexed by RQ-RMI neural
 // models and a remainder indexed by an external classifier (TupleMerge by
 // default; CutSplit and NeuroCuts builders are provided). Lookups run the
-// paper's full pipeline: model inference, bounded secondary search,
+// paper's full pipeline — model inference, bounded secondary search,
 // multi-field validation, highest-priority selection, and the
-// early-termination remainder query.
+// early-termination remainder query — lock-free on every path.
+//
+// # Persistence
+//
+// Training is the expensive half of NuevoMatch (§3.9: minutes at 500K
+// rules); lookups amortize it. Tables therefore serialize, so the training
+// happens offline, once:
+//
+//	table.SaveFile("acl.nm")                      // build box
+//	table, err := nuevomatch.LoadFile("acl.nm")   // serving box: no retraining
+//
+// Load reconstructs a lookup-identical table in milliseconds: models
+// deserialize, the remainder rebuilds from its saved rules, and the first
+// packet is served from the same zero-lock snapshot machinery as the
+// millionth. Online drift (Insert/Delete/Modify) is captured by Save too —
+// a table saved mid-churn reloads with its updates intact.
+//
+// # Updates and the autopilot
+//
+// Tables take online updates concurrently with lookups (§3.9) and retrain
+// in place via Retrain, a hot swap behind the handle. WithAutopilot
+// automates the loop — a drift policy trips background retraining — and
+// WithAutopilotPersist re-saves the artifact after every swap:
+//
+//	table, err := nuevomatch.Open(rs,
+//	    nuevomatch.WithAutopilot(nuevomatch.AutopilotPolicy{MaxUpdates: 4096}),
+//	    nuevomatch.WithAutopilotPersist("acl.nm"),
+//	)
+//
+// # Conventions
 //
 // Rule priorities are numeric with smaller values winning, matching the
 // paper's "priority 1 (highest)" convention. Matching is over 32-bit
 // fields; wider fields are split into 32-bit chunks as in §4 of the paper.
+//
+// # Migration from the Options struct
+//
+// The pre-Table surface — Build(rs, Options{...}) returning an *Engine —
+// still compiles and behaves identically, but is deprecated: Open with
+// functional options replaces it, and *Table wraps the same engine (see
+// Table.Engine for the escape hatch). Options and Engine remain exported
+// for that shim and for code that embeds them.
 package nuevomatch
 
 import (
@@ -67,22 +107,28 @@ type (
 	// Builder constructs a classifier over a rule-set.
 	Builder = rules.Builder
 
-	// Engine is a built NuevoMatch classifier.
+	// Engine is the classifier underlying a Table. It remains exported for
+	// the deprecated Build shim and for code written against the pre-Table
+	// API; new code should hold a *Table.
 	Engine = core.Engine
-	// Options configures Build.
+	// Options is the positional configuration of the deprecated Build shim.
+	// New code passes functional options (WithMaxISets, WithRemainder, …)
+	// to Open and Load instead.
 	Options = core.Options
-	// BuildStats reports what Build produced.
+	// BuildStats reports what Open (or Build) produced.
 	BuildStats = core.BuildStats
 	// UpdateStats tracks drift since the last build (§3.9).
 	UpdateStats = core.UpdateStats
-	// RQRMIConfig tunes per-iSet model training.
+	// RQRMIConfig tunes per-iSet model training (WithRQRMI).
 	RQRMIConfig = rqrmi.Config
 
-	// Autopilot supervises a live engine: it watches update drift and
+	// Autopilot supervises a live table: it watches update drift and
 	// retrains in place on a background goroutine when the policy trips.
-	// Lookups stay zero-lock across the hot swap (Engine.Retrain).
+	// Lookups stay zero-lock across the hot swap. Attach one with
+	// WithAutopilot (or NewAutopilot for a bare Engine).
 	Autopilot = core.Autopilot
-	// AutopilotPolicy configures the drift triggers.
+	// AutopilotPolicy configures the drift triggers and the optional
+	// AfterRetrain persistence hook.
 	AutopilotPolicy = core.AutopilotPolicy
 	// AutopilotStats is the supervisor's cumulative activity record.
 	AutopilotStats = core.AutopilotStats
@@ -126,21 +172,32 @@ func FormatIPv4(v uint32) string { return rules.FormatIPv4(v) }
 // Build trains a NuevoMatch engine over the rule-set. The zero Options
 // reproduce the paper's default setup: up to 4 iSets, 5% minimum coverage,
 // error threshold 64, TupleMerge remainder.
+//
+// Deprecated: use Open, which returns a *Table with the full
+// Save/Load/autopilot lifecycle; Table.Engine recovers the *Engine where
+// one is still required.
 func Build(rs *RuleSet, opts Options) (*Engine, error) { return core.Build(rs, opts) }
 
 // NewAutopilot wraps a built engine with a drift supervisor. Call Start to
 // launch the background watcher (and Stop to halt it), or drive Check
-// manually for deterministic retrain points.
+// manually for deterministic retrain points. Tables attach their own via
+// WithAutopilot.
 func NewAutopilot(e *Engine, policy AutopilotPolicy) *Autopilot {
 	return core.NewAutopilot(e, policy)
 }
 
-// ErrRetrainInProgress is returned by Engine.Retrain when another retrain on
-// the same engine has not finished yet.
+// ErrRetrainInProgress is returned by Retrain when another retrain on the
+// same table has not finished yet.
 var ErrRetrainInProgress = core.ErrRetrainInProgress
 
-// Remainder classifier builders for Options.Remainder, and standalone
-// baselines for comparison.
+// RegisterRemainder makes a remainder builder resolvable by classifier name
+// when a saved table is loaded: Save records the remainder's Name(), and
+// Load rebuilds the remainder through this registry (WithRemainder
+// overrides it per call). The bundled classifiers below are pre-registered.
+func RegisterRemainder(name string, b Builder) { core.RegisterRemainder(name, b) }
+
+// Remainder classifier builders for WithRemainder, and standalone baselines
+// for comparison.
 var (
 	// TupleMerge is the update-capable hash-based classifier (default
 	// remainder).
@@ -154,3 +211,13 @@ var (
 	// Linear is the priority-ordered scan (correctness reference).
 	Linear Builder = linear.Build
 )
+
+func init() {
+	// "tuplemerge" is registered by the core package itself (it is the
+	// default remainder); the other bundled classifiers register here so
+	// tables saved with them load by name.
+	RegisterRemainder("cutsplit", cutsplit.Build)
+	RegisterRemainder("neurocuts", neurocuts.Build)
+	RegisterRemainder("tss", tss.Build)
+	RegisterRemainder("linear", linear.Build)
+}

@@ -1,0 +1,382 @@
+package nuevomatch_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nuevomatch"
+	"nuevomatch/internal/classbench"
+)
+
+// testRuleSet generates a deterministic ClassBench ACL with unique
+// priorities.
+func testRuleSet(t *testing.T, size int) *nuevomatch.RuleSet {
+	t.Helper()
+	prof, err := classbench.ProfileByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := classbench.Generate(prof, size)
+	for i := range rs.Rules {
+		rs.Rules[i].Priority = int32(2 * (i + 1))
+	}
+	return rs
+}
+
+func probe(rng *rand.Rand, rs *nuevomatch.RuleSet) nuevomatch.Packet {
+	p := make(nuevomatch.Packet, rs.NumFields)
+	if rng.Intn(4) != 0 {
+		classbench.FillMatchingPacket(rng, &rs.Rules[rng.Intn(rs.Len())], p)
+	} else {
+		for d := range p {
+			p[d] = rng.Uint32()
+		}
+	}
+	return p
+}
+
+// TestOpenMatchesDeprecatedBuild proves the shim and the new surface build
+// the same classifier: Build(rs, Options{}) and Open(rs) agree with the
+// linear reference on every probe.
+func TestOpenMatchesDeprecatedBuild(t *testing.T) {
+	rs := testRuleSet(t, 300)
+	table, err := nuevomatch.Open(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer table.Close()
+	engine, err := nuevomatch.Build(rs, nuevomatch.Options{}) // deprecated shim must keep compiling
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		p := probe(rng, rs)
+		want := rs.MatchID(p)
+		if got := table.Lookup(p); got != want {
+			t.Fatalf("table.Lookup(%v) = %d, want %d", p, got, want)
+		}
+		if got := engine.Lookup(p); got != want {
+			t.Fatalf("engine.Lookup(%v) = %d, want %d", p, got, want)
+		}
+	}
+	if table.NumISets() != engine.NumISets() {
+		t.Errorf("iSet count differs: table %d, engine %d", table.NumISets(), engine.NumISets())
+	}
+}
+
+// TestTableOptions exercises the functional options end to end.
+func TestTableOptions(t *testing.T) {
+	rs := testRuleSet(t, 300)
+
+	noISets, err := nuevomatch.Open(rs, nuevomatch.WithMaxISets(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer noISets.Close()
+	if n := noISets.NumISets(); n != 0 {
+		t.Errorf("WithMaxISets(0) trained %d iSets, want 0", n)
+	}
+
+	linear, err := nuevomatch.Open(rs,
+		nuevomatch.WithRemainder(nuevomatch.Linear),
+		nuevomatch.WithMinCoverage(0.25),
+		nuevomatch.WithRQRMI(nuevomatch.RQRMIConfig{TargetError: 32}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer linear.Close()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		p := probe(rng, rs)
+		if got, want := linear.Lookup(p), rs.MatchID(p); got != want {
+			t.Fatalf("linear-remainder table: Lookup(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// TestTableSaveLoadFile is the public-surface persistence round trip,
+// including drift applied through the Table update methods before Save.
+func TestTableSaveLoadFile(t *testing.T) {
+	rs := testRuleSet(t, 400)
+	table, err := nuevomatch.Open(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer table.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	mirror := rs.Clone()
+	for i := 0; i < 120; i++ {
+		if i%3 == 0 && mirror.Len() > 32 {
+			j := rng.Intn(mirror.Len())
+			if err := table.Delete(mirror.Rules[j].ID); err != nil {
+				t.Fatal(err)
+			}
+			mirror.Rules[j] = mirror.Rules[mirror.Len()-1]
+			mirror.Rules = mirror.Rules[:mirror.Len()-1]
+		} else {
+			r := mirror.Rules[rng.Intn(mirror.Len())]
+			r.ID = 50_000 + i
+			r.Priority = int32(2*i + 1)
+			r.Fields = append([]nuevomatch.Range(nil), r.Fields...)
+			r.Fields[nuevomatch.FieldDstPort] = nuevomatch.ExactRange(uint32(rng.Intn(65536)))
+			if err := table.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+			mirror.Add(r)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "table.nm")
+	if err := table.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nuevomatch.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+
+	pkts := make([]nuevomatch.Packet, 400)
+	want := make([]int, len(pkts))
+	for i := range pkts {
+		pkts[i] = probe(rng, mirror)
+		want[i] = mirror.MatchID(pkts[i])
+	}
+	out := make([]int, len(pkts))
+	loaded.LookupBatch(pkts, out)
+	for i := range pkts {
+		if got := loaded.Lookup(pkts[i]); got != want[i] {
+			t.Fatalf("loaded.Lookup(%v) = %d, want %d", pkts[i], got, want[i])
+		}
+		if out[i] != want[i] {
+			t.Fatalf("loaded.LookupBatch[%d] = %d, want %d", i, out[i], want[i])
+		}
+		if got := table.Lookup(pkts[i]); got != want[i] {
+			t.Fatalf("original.Lookup(%v) = %d, want %d", pkts[i], got, want[i])
+		}
+	}
+
+	// The loaded table stays live: it takes updates and saves again.
+	r := mirror.Rules[0]
+	r.ID = 99_999
+	r.Priority = 1
+	r.Fields = append([]nuevomatch.Range(nil), r.Fields...)
+	if err := loaded.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if n, err := loaded.Save(&buf); err != nil || n != int64(buf.Len()) {
+		t.Fatalf("re-save: n=%d err=%v (buffered %d)", n, err, buf.Len())
+	}
+
+	// Load rejects garbage with an error, not a panic.
+	if _, err := nuevomatch.Load(bytes.NewReader([]byte("not a table"))); err == nil {
+		t.Fatal("Load of garbage succeeded")
+	}
+}
+
+// TestTableCloseSemantics is the lifecycle regression test: double-Close,
+// lookups after Close on every path, ErrClosed on updates, and no leaked
+// worker goroutines.
+func TestTableCloseSemantics(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+
+	rs := testRuleSet(t, 200)
+	table, err := nuevomatch.Open(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	pkts := make([]nuevomatch.Packet, 64)
+	for i := range pkts {
+		pkts[i] = probe(rng, rs)
+	}
+	out := make([]int, len(pkts))
+	table.LookupBatchParallel(pkts, out) // warm the worker pool
+	goroutines := runtime.NumGoroutine()
+
+	if err := table.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := table.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// Lookups after Close never panic and stay correct.
+	for i, p := range pkts {
+		if got, want := table.Lookup(p), rs.MatchID(p); got != want {
+			t.Fatalf("post-Close Lookup(%v) = %d, want %d", p, got, want)
+		}
+		_ = i
+	}
+	table.LookupBatch(pkts, out)
+	table.LookupBatchParallel(pkts, out)
+
+	// Updates and persistence are refused.
+	if err := table.Insert(rs.Rules[0]); !errors.Is(err, nuevomatch.ErrClosed) {
+		t.Errorf("Insert after Close: err = %v, want ErrClosed", err)
+	}
+	if err := table.Delete(rs.Rules[0].ID); !errors.Is(err, nuevomatch.ErrClosed) {
+		t.Errorf("Delete after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := table.Retrain(); !errors.Is(err, nuevomatch.ErrClosed) {
+		t.Errorf("Retrain after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := table.Save(&bytes.Buffer{}); !errors.Is(err, nuevomatch.ErrClosed) {
+		t.Errorf("Save after Close: err = %v, want ErrClosed", err)
+	}
+
+	// The worker pool must not re-accumulate goroutines after Close.
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() >= goroutines && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n >= goroutines {
+		t.Errorf("%d goroutines after Close, had %d before (leaked workers?)", n, goroutines)
+	}
+}
+
+// TestAutopilotPersist proves the WithAutopilot + WithAutopilotPersist
+// wiring: drift trips a retrain and the artifact on disk is refreshed to
+// the retrained state, which warm-starts an equivalent table.
+func TestAutopilotPersist(t *testing.T) {
+	rs := testRuleSet(t, 240)
+	path := filepath.Join(t.TempDir(), "autosave.nm")
+	table, err := nuevomatch.Open(rs,
+		nuevomatch.WithAutopilot(nuevomatch.AutopilotPolicy{
+			MaxUpdates:   60,
+			MinLiveRules: 1,
+			Interval:     -1, // Check-driven: deterministic test
+		}),
+		nuevomatch.WithAutopilotPersist(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer table.Close()
+	ap := table.Autopilot()
+	if ap == nil {
+		t.Fatal("Autopilot() = nil with WithAutopilot")
+	}
+
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("artifact exists before any retrain (stat err %v)", err)
+	}
+
+	mirror := rs.Clone()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 80; i++ {
+		r := mirror.Rules[rng.Intn(mirror.Len())]
+		r.ID = 70_000 + i
+		r.Priority = int32(2*i + 1)
+		r.Fields = append([]nuevomatch.Range(nil), r.Fields...)
+		if err := table.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+		mirror.Add(r)
+	}
+	ran, err := ap.Check()
+	if err != nil {
+		t.Fatalf("autopilot check: %v", err)
+	}
+	if !ran {
+		t.Fatalf("policy did not trip after 80 updates: %+v", table.Updates())
+	}
+	st := ap.Stats()
+	if st.Retrains != 1 || st.PersistFailures != 0 {
+		t.Fatalf("stats after retrain: %+v", st)
+	}
+
+	loaded, err := nuevomatch.LoadFile(path)
+	if err != nil {
+		t.Fatalf("loading autopersisted artifact: %v", err)
+	}
+	defer loaded.Close()
+	for i := 0; i < 400; i++ {
+		p := probe(rng, mirror)
+		if got, want := loaded.Lookup(p), mirror.MatchID(p); got != want {
+			t.Fatalf("warm-started Lookup(%v) = %d, want %d", p, got, want)
+		}
+	}
+
+	// WithAutopilotPersist without WithAutopilot is a configuration error.
+	if _, err := nuevomatch.Open(rs, nuevomatch.WithAutopilotPersist(path)); err == nil {
+		t.Error("WithAutopilotPersist without WithAutopilot must error")
+	}
+}
+
+// TestClosePersistsInFlightRetrain: a Close issued while a background
+// retrain is training must still persist that retrain's result — Close
+// waits the retrain out, and the persistence hook must not be defeated by
+// the closed flag it sets.
+func TestClosePersistsInFlightRetrain(t *testing.T) {
+	var armed atomic.Bool
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	gated := func(rs *nuevomatch.RuleSet) (nuevomatch.Classifier, error) {
+		if armed.Load() {
+			entered <- struct{}{}
+			<-gate
+		}
+		return nuevomatch.TupleMerge(rs)
+	}
+
+	rs := testRuleSet(t, 200)
+	path := filepath.Join(t.TempDir(), "inflight.nm")
+	table, err := nuevomatch.Open(rs,
+		nuevomatch.WithRemainder(gated),
+		nuevomatch.WithAutopilot(nuevomatch.AutopilotPolicy{
+			MaxUpdates:   30,
+			MinLiveRules: 1,
+			Interval:     time.Millisecond,
+		}),
+		nuevomatch.WithAutopilotPersist(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed.Store(true)
+
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 40; i++ {
+		r := rs.Rules[rng.Intn(rs.Len())]
+		r.ID = 80_000 + i
+		r.Priority = int32(2*i + 1)
+		r.Fields = append([]nuevomatch.Range(nil), r.Fields...)
+		if err := table.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-entered // the watcher's retrain is now mid-training
+	armed.Store(false)
+	closed := make(chan error, 1)
+	go func() { closed <- table.Close() }()
+	time.Sleep(5 * time.Millisecond) // let Close reach the autopilot Stop
+	close(gate)                      // release the trainer
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st := table.Autopilot().Stats()
+	if st.Retrains != 1 {
+		t.Fatalf("retrains = %d, want 1 (the in-flight one Close waited out)", st.Retrains)
+	}
+	if st.PersistFailures != 0 {
+		t.Fatalf("persist hook failed during Close: %+v", st)
+	}
+	loaded, err := nuevomatch.LoadFile(path, nuevomatch.WithRemainder(nuevomatch.TupleMerge))
+	if err != nil {
+		t.Fatalf("artifact persisted during Close is unloadable: %v", err)
+	}
+	loaded.Close()
+}
