@@ -1,0 +1,285 @@
+package nuevomatch_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nuevomatch"
+	"nuevomatch/internal/classbench"
+	"nuevomatch/internal/rqrmi"
+)
+
+// fastShardOpts keeps per-shard training cheap in public-API tests.
+func fastShardOpts() []nuevomatch.Option {
+	return []nuevomatch.Option{
+		nuevomatch.WithRQRMI(rqrmi.Config{
+			StageWidths:    []int{1, 4},
+			TargetError:    32,
+			MaxRetrain:     2,
+			MinSamples:     64,
+			MaxSamples:     1024,
+			InternalEpochs: 120,
+			LeafEpochs:     200,
+			Seed:           1,
+			Workers:        2,
+		}),
+	}
+}
+
+// uniquePriorities remaps a generated rule-set onto unique priorities so
+// differential comparisons have no tie ambiguity.
+func uniquePriorities(rs *nuevomatch.RuleSet) {
+	for i := range rs.Rules {
+		rs.Rules[i].Priority = int32(i + 1)
+	}
+}
+
+// probePackets draws match-biased probes against the rule-set.
+func probePackets(rng *rand.Rand, rs *nuevomatch.RuleSet, n int) []nuevomatch.Packet {
+	pkts := make([]nuevomatch.Packet, n)
+	for i := range pkts {
+		p := make(nuevomatch.Packet, rs.NumFields)
+		if rs.Len() > 0 && rng.Intn(4) != 0 {
+			classbench.FillMatchingPacket(rng, &rs.Rules[rng.Intn(rs.Len())], p)
+		} else {
+			for d := range p {
+				p[d] = rng.Uint32()
+			}
+		}
+		pkts[i] = p
+	}
+	return pkts
+}
+
+// TestClusterEquivalentToTable is the public-API acceptance differential:
+// on every ClassBench profile, a 1-shard cluster and a multi-shard cluster
+// must answer exactly like the plain Table, scalar and batched, both
+// freshly built and after 20% churn.
+func TestClusterEquivalentToTable(t *testing.T) {
+	profiles := classbench.Profiles()
+	size := 200
+	if testing.Short() {
+		profiles = []classbench.Profile{profiles[0], profiles[5], profiles[10]}
+	}
+	for pi, prof := range profiles {
+		t.Run(prof.Name, func(t *testing.T) {
+			rs := classbench.Generate(prof, size)
+			uniquePriorities(rs)
+
+			table, err := nuevomatch.Open(rs.Clone(), fastShardOpts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer table.Close()
+			single, err := nuevomatch.OpenCluster(rs.Clone(),
+				append(fastShardOpts2(), nuevomatch.WithShards(1))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer single.Close()
+			multi, err := nuevomatch.OpenCluster(rs.Clone(),
+				append(fastShardOpts2(), nuevomatch.WithShards(3))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer multi.Close()
+
+			rng := rand.New(rand.NewSource(800 + int64(pi)))
+			verify := func(stage string, mirror *nuevomatch.RuleSet) {
+				t.Helper()
+				pkts := probePackets(rng, mirror, 300)
+				outT := make([]int, len(pkts))
+				outS := make([]int, len(pkts))
+				outM := make([]int, len(pkts))
+				table.LookupBatch(pkts, outT)
+				single.LookupBatch(pkts, outS)
+				multi.LookupBatch(pkts, outM)
+				for i, p := range pkts {
+					want := mirror.MatchID(p)
+					if got := table.Lookup(p); got != want {
+						t.Fatalf("%s: table.Lookup = %d, want %d", stage, got, want)
+					}
+					if got := single.Lookup(p); got != want {
+						t.Fatalf("%s: 1-shard cluster.Lookup = %d, want %d", stage, got, want)
+					}
+					if got := multi.Lookup(p); got != want {
+						t.Fatalf("%s: %d-shard cluster.Lookup = %d, want %d", stage, multi.NumShards(), got, want)
+					}
+					if outT[i] != want || outS[i] != want || outM[i] != want {
+						t.Fatalf("%s: batch[%d] table %d / single %d / multi %d, want %d",
+							stage, i, outT[i], outS[i], outM[i], want)
+					}
+				}
+			}
+			verify("static", rs)
+
+			// 20% churn, applied identically to all three handles.
+			mirror := rs.Clone()
+			nextID := 5_000_000
+			for ops := 0; ops < size/5; ops++ {
+				if rng.Intn(2) == 0 && mirror.Len() > 16 {
+					i := rng.Intn(mirror.Len())
+					id := mirror.Rules[i].ID
+					for _, h := range []interface{ Delete(int) error }{table, single, multi} {
+						if err := h.Delete(id); err != nil {
+							t.Fatalf("churn delete %d: %v", id, err)
+						}
+					}
+					mirror.Rules[i] = mirror.Rules[mirror.Len()-1]
+					mirror.Rules = mirror.Rules[:mirror.Len()-1]
+				} else {
+					src := mirror.Rules[rng.Intn(mirror.Len())]
+					r := src
+					r.ID = nextID
+					nextID++
+					r.Priority = int32(size + ops + 2)
+					r.Fields = append([]nuevomatch.Range(nil), src.Fields...)
+					for _, h := range []interface{ Insert(nuevomatch.Rule) error }{table, single, multi} {
+						if err := h.Insert(r); err != nil {
+							t.Fatalf("churn insert %d: %v", r.ID, err)
+						}
+					}
+					mirror.Add(r)
+				}
+			}
+			verify("churn", mirror)
+		})
+	}
+}
+
+// fastShardOpts2 wraps fastShardOpts as cluster options.
+func fastShardOpts2() []nuevomatch.ClusterOption {
+	return []nuevomatch.ClusterOption{nuevomatch.WithShardOptions(fastShardOpts()...)}
+}
+
+// TestClusterSaveLoadPublic round-trips a cluster through SaveDir and
+// LoadCluster via the public API and proves the loaded cluster is live.
+func TestClusterSaveLoadPublic(t *testing.T) {
+	prof, err := classbench.ProfileByName("ipc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := classbench.Generate(prof, 180)
+	uniquePriorities(rs)
+	cluster, err := nuevomatch.OpenCluster(rs.Clone(),
+		append(fastShardOpts2(), nuevomatch.WithShards(3))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	dir := filepath.Join(t.TempDir(), "cluster.d")
+	if err := cluster.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nuevomatch.LoadCluster(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+
+	rng := rand.New(rand.NewSource(4))
+	for _, p := range probePackets(rng, rs, 400) {
+		if got, want := loaded.Lookup(p), cluster.Lookup(p); got != want {
+			t.Fatalf("loaded.Lookup(%v) = %d, want %d", p, got, want)
+		}
+	}
+	st := loaded.Stats()
+	if st.Shards != cluster.NumShards() || st.LiveRules != rs.Len() {
+		t.Fatalf("loaded stats %+v do not match saved cluster", st)
+	}
+	if err := loaded.Insert(nuevomatch.Rule{ID: 9_999_999, Priority: 1,
+		Fields: fullFields(rs.NumFields)}); err != nil {
+		t.Fatalf("insert into loaded cluster: %v", err)
+	}
+	if got := loaded.Lookup(make(nuevomatch.Packet, rs.NumFields)); got != 9_999_999 {
+		t.Fatalf("wildcard insert invisible: got %d", got)
+	}
+}
+
+func fullFields(n int) []nuevomatch.Range {
+	f := make([]nuevomatch.Range, n)
+	for i := range f {
+		f[i] = nuevomatch.FullRange()
+	}
+	return f
+}
+
+// TestClusterAutopilotPersist drives churn through a cluster whose shards
+// have Check-driven autopilots persisting into the saved directory: after a
+// retrain, the directory must reload as a cluster equivalent to the live
+// one.
+func TestClusterAutopilotPersist(t *testing.T) {
+	prof, err := classbench.ProfileByName("acl4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := classbench.Generate(prof, 160)
+	uniquePriorities(rs)
+	dir := filepath.Join(t.TempDir(), "cluster.d")
+
+	cluster, err := nuevomatch.OpenCluster(rs.Clone(), append(fastShardOpts2(),
+		nuevomatch.WithShards(2),
+		nuevomatch.WithClusterAutopilot(nuevomatch.AutopilotPolicy{
+			MaxUpdates:   30,
+			MinLiveRules: 1,
+			Interval:     -1, // Check-driven
+		}),
+		nuevomatch.WithClusterAutopilotPersist(dir))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	// The persist directory must hold a full cluster before any retrain
+	// fires, or a crash would have nothing to warm-start from.
+	if err := cluster.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	mirror := rs.Clone()
+	rng := rand.New(rand.NewSource(10))
+	nextID := 7_000_000
+	for ops := 0; ops < 120; ops++ {
+		src := mirror.Rules[rng.Intn(mirror.Len())]
+		r := src
+		r.ID = nextID
+		nextID++
+		r.Priority = int32(1000 + ops)
+		r.Fields = append([]nuevomatch.Range(nil), src.Fields...)
+		if err := cluster.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+		mirror.Add(r)
+		for s := 0; s < cluster.NumShards(); s++ {
+			if _, err := cluster.ShardAutopilot(s).Check(); err != nil {
+				t.Fatalf("shard %d check: %v", s, err)
+			}
+		}
+	}
+	st := cluster.AutopilotStats()
+	if st.Retrains < 1 {
+		t.Fatalf("no shard retrained: %+v", st)
+	}
+	if st.PersistFailures > 0 {
+		t.Fatalf("persist failures: %+v", st)
+	}
+
+	// Wait until the shard files on disk settle (persist runs on the
+	// retraining goroutine, synchronously within Check, so they already
+	// have) and reload.
+	if _, err := os.Stat(filepath.Join(dir, "cluster.json")); err != nil {
+		t.Fatalf("manifest missing after persist: %v", err)
+	}
+	loaded, err := nuevomatch.LoadCluster(dir)
+	if err != nil {
+		t.Fatalf("reloading persisted cluster: %v", err)
+	}
+	defer loaded.Close()
+	for _, p := range probePackets(rng, mirror, 300) {
+		if got, want := loaded.Lookup(p), mirror.MatchID(p); got != want {
+			t.Fatalf("persisted cluster Lookup(%v) = %d, want %d", p, got, want)
+		}
+	}
+}

@@ -37,6 +37,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "trace generation seed")
 		benchjs  = flag.String("benchjson", "", "directory to write a BENCH_<name>.json perf artifact into (skips -exp)")
 		churnOps = flag.Int("churnops", 20000, "churn-experiment operations per profile recorded into the benchjson artifact (0 disables)")
+		shards   = flag.Int("shards", 2, "cluster-experiment shard count recorded into the benchjson artifact (0 disables)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	)
 	flag.Parse()
@@ -69,6 +70,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchrunner: churn: %v\n", err)
 			os.Exit(1)
 		}
+		if err := a.AttachCluster(*shards, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: cluster: %v\n", err)
+			os.Exit(1)
+		}
 		path, err := analysis.WriteBenchArtifact(*benchjs, a)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
@@ -94,6 +99,16 @@ func main() {
 				fmt.Printf("    %-5s %6d ops  %d retrains (%s)  swap max %6.0f µs  probe p99 %5.0f ns max %6.0f ns  remfrac %.2f\n",
 					p.Profile, p.Ops, p.Retrains, p.Trigger, p.SwapMaxNanos/1e3,
 					p.Probe.P99, p.Probe.Max, p.RemainderFractionEnd)
+			}
+		}
+		if c := a.Cluster; c != nil {
+			fmt.Printf("  cluster:         %d shards (%s on field %d), %d/%d rules replicated, %d mismatches\n",
+				c.Shards, c.Kind, c.PartitionField, c.ReplicatedRules, c.LiveRules, c.Mismatches)
+			fmt.Printf("    merged batch   %12.0f pps  (%.2fx single engine — report-only on 1 CPU)\n",
+				c.LookupBatch.ThroughputPPS, c.MergedVsSingleBatch)
+			for s, sp := range c.PerShard {
+				fmt.Printf("    shard %02d       %6d rules  %6d trace pkts  %12.0f pps batch\n",
+					s, sp.Rules, sp.TracePackets, sp.ThroughputPPS)
 			}
 		}
 		return

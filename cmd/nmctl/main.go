@@ -6,9 +6,19 @@
 //
 //	nmctl build -gen acl1 -size 10000 -o table.nm     # train offline, persist
 //	nmctl build -rules acl1_10k.rules -o table.nm
+//	nmctl build -gen acl1 -size 10000 -shards 4 -o cluster.d   # sharded cluster
 //	nmctl serve -load table.nm -bench                 # warm start: no retraining
 //	nmctl serve -load table.nm -churn 50000 -persist table.nm
+//	nmctl serve -load cluster.d -bench                # warm start a whole cluster
+//	nmctl serve -load cluster.d -churn 50000 -persist cluster.d
 //	nmctl -gen acl1 -size 10000 -bench                # legacy combined mode
+//
+// With -shards N (N > 1) build trains a sharded nuevomatch.Cluster —
+// N independent engines over a partitioned rule-set — and -o names a
+// directory holding one table artifact per shard plus the cluster manifest.
+// serve -load detects such a directory (or its cluster.json) and loads the
+// whole cluster; churn mode then runs one autopilot per shard, so retrains
+// stall 1/N of the table.
 //
 // serve loads in milliseconds whatever build spent training and reports the
 // load-vs-build amortization. Churn mode (-churn N) runs a sustained
@@ -27,6 +37,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -119,7 +130,8 @@ func cmdBuild(args []string) {
 		size      = fs.Int("size", 10000, "rule count for -gen")
 		remainder = fs.String("remainder", "tm", "remainder classifier: cs | nc | tm")
 		maxErr    = fs.Int("error", 64, "RQ-RMI maximum error threshold")
-		out       = fs.String("o", "table.nm", "output table artifact")
+		shards    = fs.Int("shards", 1, "shard count; >1 builds a sharded cluster and -o names a directory")
+		out       = fs.String("o", "table.nm", "output table artifact (or cluster directory with -shards)")
 	)
 	fs.Parse(args)
 
@@ -130,6 +142,26 @@ func cmdBuild(args []string) {
 	opts, err := buildOptions(*remainder, *maxErr)
 	if err != nil {
 		fatal(err)
+	}
+	if *shards > 1 {
+		start := time.Now()
+		cluster, err := nuevomatch.OpenCluster(rs,
+			nuevomatch.WithShards(*shards), nuevomatch.WithShardOptions(opts...))
+		if err != nil {
+			fatal(err)
+		}
+		defer cluster.Close()
+		buildTime := time.Since(start)
+		fmt.Printf("build: %v total across %d parallel shard trainings\n",
+			buildTime.Round(time.Millisecond), cluster.NumShards())
+		printClusterStats(cluster)
+		start = time.Now()
+		if err := cluster.SaveDir(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved cluster %s (%d shard files + manifest) in %v (`nmctl serve -load %s` skips the %v of training)\n",
+			*out, cluster.NumShards(), time.Since(start).Round(time.Millisecond), *out, buildTime.Round(time.Millisecond))
+		return
 	}
 	start := time.Now()
 	table, err := nuevomatch.Open(rs, opts...)
@@ -154,6 +186,16 @@ func cmdBuild(args []string) {
 		*out, info.Size(), time.Since(start).Round(time.Millisecond), *out, buildTime.Round(time.Millisecond))
 }
 
+// printClusterStats summarizes a cluster's shape: shard widths, routing,
+// replication overhead, and memory.
+func printClusterStats(c *nuevomatch.Cluster) {
+	st := c.Stats()
+	fmt.Printf("cluster: %d shards (%s partition on field %d), rules per shard %v\n",
+		st.Shards, st.Kind, st.PartitionField, st.ShardRules)
+	fmt.Printf("rules: %d live, %d replicated to multiple shards; memory %d B total\n",
+		st.LiveRules, st.Replicated, c.MemoryFootprint())
+}
+
 // cmdServe loads a persisted table — the warm start — and serves it:
 // one-shot classification (-trace / -bench) or the autopilot churn workload
 // (-churn).
@@ -172,7 +214,13 @@ func cmdServe(args []string) {
 	)
 	fs.Parse(args)
 	if *load == "" {
-		fatal(fmt.Errorf("serve requires -load table.nm"))
+		fatal(fmt.Errorf("serve requires -load table.nm (or a cluster directory)"))
+	}
+
+	// A directory (or a path to its cluster.json) is a sharded cluster.
+	if dir, ok := clusterDir(*load); ok {
+		serveCluster(dir, *tracePath, *bench, *churn, *maxUpd, *maxFrac, *persist, *verify, *seed)
+		return
 	}
 
 	var opts []nuevomatch.Option
@@ -217,6 +265,221 @@ func cmdServe(args []string) {
 		return
 	}
 	classify(table, pkts)
+}
+
+// clusterDir reports whether path names a saved cluster: the directory
+// itself or its manifest file.
+func clusterDir(path string) (string, bool) {
+	if filepath.Base(path) == "cluster.json" {
+		return filepath.Dir(path), true
+	}
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		return path, true
+	}
+	return "", false
+}
+
+// serveCluster is cmdServe for a sharded cluster: warm-load the whole
+// directory, then classify (-trace/-bench) or churn with one autopilot per
+// shard (-churn).
+func serveCluster(dir, tracePath string, bench bool, churn, maxUpd int, maxFrac float64, persist string, verify bool, seed int64) {
+	var opts []nuevomatch.ClusterOption
+	if churn > 0 {
+		opts = append(opts, nuevomatch.WithClusterAutopilot(nuevomatch.AutopilotPolicy{
+			MaxUpdates:           maxUpd,
+			MaxRemainderFraction: maxFrac,
+		}))
+		if persist != "" {
+			if pdir, ok := clusterDir(persist); ok {
+				persist = pdir
+			}
+			opts = append(opts, nuevomatch.WithClusterAutopilotPersist(persist))
+		}
+	}
+	start := time.Now()
+	cluster, err := nuevomatch.LoadCluster(dir, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Close()
+	fmt.Printf("loaded cluster %s in %v (training skipped on all %d shards)\n",
+		dir, time.Since(start).Round(time.Millisecond), cluster.NumShards())
+	printClusterStats(cluster)
+
+	rs := cluster.LiveRuleSet()
+	if churn > 0 {
+		runClusterChurn(cluster, rs, churn, seed, verify)
+		return
+	}
+	var pkts []rules.Packet
+	switch {
+	case tracePath != "":
+		pkts, err = readTrace(tracePath, rs.NumFields)
+		if err != nil {
+			fatal(err)
+		}
+	case bench:
+		rng := rand.New(rand.NewSource(seed))
+		pkts = trace.Uniform(rng, rs, 100000).Packets
+	default:
+		return
+	}
+	matched := 0
+	out := make([]int, 256)
+	start = time.Now()
+	for off := 0; off < len(pkts); off += 256 {
+		n := len(pkts) - off
+		if n > 256 {
+			n = 256
+		}
+		cluster.LookupBatch(pkts[off:off+n], out[:n])
+		for _, id := range out[:n] {
+			if id >= 0 {
+				matched++
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("classified %d packets in %v via the sharded batch path (%.0f pps, %.0f%% matched)\n",
+		len(pkts), elapsed.Round(time.Millisecond),
+		float64(len(pkts))/elapsed.Seconds(), 100*float64(matched)/float64(len(pkts)))
+}
+
+// churnTarget is the lookup/update surface the churn workload drives —
+// satisfied by both *nuevomatch.Table and *nuevomatch.Cluster, so one loop
+// serves both serve modes.
+type churnTarget interface {
+	Lookup(rules.Packet) int
+	Insert(nuevomatch.Rule) error
+	Delete(int) error
+}
+
+// churnCounts summarizes one churn run.
+type churnCounts struct {
+	lookups, inserts, deletes, mismatches int
+	elapsed                               time.Duration
+}
+
+// churnLoop drives ops interleaved operations (~60% lookups, ~20% inserts
+// of mutated live rules under fresh IDs, ~20% deletes) against tgt while
+// maintaining an exact linear-reference mirror. With verify, every lookup
+// is checked against the mirror (compared by winning priority — file-loaded
+// rule-sets may carry duplicate priorities). report runs about once a
+// second with the ops completed so far and the instantaneous rate.
+func churnLoop(tgt churnTarget, mirror *rules.RuleSet, ops int, seed int64, verify bool, report func(done int, rate float64)) churnCounts {
+	rng := rand.New(rand.NewSource(seed))
+	prioOf := make(map[int]int32, mirror.Len())
+	for i := range mirror.Rules {
+		prioOf[mirror.Rules[i].ID] = mirror.Rules[i].Priority
+	}
+	nextID := 1 << 24
+	var n churnCounts
+	start := time.Now()
+	lastReport := start
+	lastOps := 0
+	for op := 0; op < ops; op++ {
+		switch x := rng.Float64(); {
+		case x < 0.60:
+			n.lookups++
+			p := make(rules.Packet, mirror.NumFields)
+			if mirror.Len() > 0 && rng.Intn(4) != 0 {
+				classbench.FillMatchingPacket(rng, &mirror.Rules[rng.Intn(mirror.Len())], p)
+			} else {
+				for d := range p {
+					p[d] = rng.Uint32()
+				}
+			}
+			got := tgt.Lookup(p)
+			if verify {
+				want := mirror.MatchID(p)
+				if got != want && ((got < 0) != (want < 0) || prioOf[got] != prioOf[want]) {
+					n.mismatches++
+				}
+			}
+		case x < 0.80 && mirror.Len() > 0:
+			// Insert a mutation of a random live rule under a fresh ID.
+			src := mirror.Rules[rng.Intn(mirror.Len())]
+			r := src
+			r.ID = nextID
+			nextID++
+			r.Priority = int32(rng.Intn(1 << 20))
+			r.Fields = append([]rules.Range(nil), src.Fields...)
+			if mirror.NumFields == rules.NumFiveTupleFields {
+				r.Fields[rules.FieldDstPort] = rules.ExactRange(uint32(rng.Intn(65536)))
+			}
+			if err := tgt.Insert(r); err != nil {
+				fatal(err)
+			}
+			mirror.Add(r)
+			prioOf[r.ID] = r.Priority
+			n.inserts++
+		default:
+			if mirror.Len() <= 16 {
+				continue
+			}
+			i := rng.Intn(mirror.Len())
+			id := mirror.Rules[i].ID
+			if err := tgt.Delete(id); err != nil {
+				fatal(err)
+			}
+			delete(prioOf, id)
+			mirror.Rules[i] = mirror.Rules[mirror.Len()-1]
+			mirror.Rules = mirror.Rules[:mirror.Len()-1]
+			n.deletes++
+		}
+		if now := time.Now(); now.Sub(lastReport) >= time.Second {
+			report(op+1, float64(op+1-lastOps)/now.Sub(lastReport).Seconds())
+			lastReport, lastOps = now, op+1
+		}
+	}
+	n.elapsed = time.Since(start)
+	return n
+}
+
+// finishChurn prints the shared tail of a churn run and exits non-zero on
+// verification mismatches.
+func finishChurn(ops int, n churnCounts, verify bool) {
+	fmt.Printf("churn done: %d ops in %v (%.0f ops/s): %d lookups, %d inserts, %d deletes\n",
+		ops, n.elapsed.Round(time.Millisecond), float64(ops)/n.elapsed.Seconds(),
+		n.lookups, n.inserts, n.deletes)
+	if verify {
+		fmt.Printf("verification: %d mismatches over %d lookups\n", n.mismatches, n.lookups)
+		if n.mismatches > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// runClusterChurn is churn serve mode for a cluster: the shared workload
+// loop with one autopilot per shard retraining in the background.
+func runClusterChurn(c *nuevomatch.Cluster, rs *rules.RuleSet, ops int, seed int64, verify bool) {
+	if c.ShardAutopilot(0) == nil {
+		fatal(fmt.Errorf("cluster churn mode requires autopilot options"))
+	}
+	fmt.Printf("churn: %d ops across %d shards, policy %+v\n", ops, c.NumShards(), c.ShardAutopilot(0).Policy())
+	n := churnLoop(c, rs.Clone(), ops, seed, verify, func(done int, rate float64) {
+		st := c.AutopilotStats()
+		cst := c.Stats()
+		fmt.Printf("  %7d ops (%6.0f ops/s)  live %6d  shards %v  retrains %d  last swap %v  trigger %q\n",
+			done, rate, cst.LiveRules, cst.ShardRules, st.Retrains,
+			st.LastSwap.Round(time.Microsecond), st.LastTrigger)
+	})
+	if c.AutopilotStats().Retrains == 0 {
+		for s := 0; s < c.NumShards(); s++ {
+			if _, err := c.ShardAutopilot(s).Check(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	st := c.AutopilotStats()
+	cst := c.Stats()
+	fmt.Printf("autopilots: %d retrains (%d failures) across %d shards, %d journaled updates replayed, max swap %v, total train %v\n",
+		st.Retrains, st.Failures, c.NumShards(), st.Replayed, st.MaxSwap.Round(time.Microsecond), st.TotalTrain.Round(time.Millisecond))
+	if st.PersistFailures > 0 {
+		fmt.Printf("autopilots: %d persist failures (last: %s)\n", st.PersistFailures, st.LastPersistError)
+	}
+	fmt.Printf("final: live %d rules, per shard %v, %d replicated\n", cst.LiveRules, cst.ShardRules, cst.Replicated)
+	finishChurn(ops, n, verify)
 }
 
 // cmdLegacy is the original combined mode: build in-process, then classify
@@ -298,111 +561,35 @@ func classify(t *nuevomatch.Table, pkts []rules.Packet) {
 		float64(len(pkts))/elapsed.Seconds(), 100*float64(matched)/float64(len(pkts)))
 }
 
-// runChurn is the serve-style churn mode: a sustained update/lookup stream
-// with the table's autopilot retraining in the background, reporting
-// progress about once a second.
+// runChurn is the serve-style churn mode: the shared workload loop with
+// the table's autopilot retraining in the background.
 func runChurn(t *nuevomatch.Table, rs *rules.RuleSet, ops int, seed int64, verify bool) {
 	ap := t.Autopilot()
 	if ap == nil {
 		fatal(fmt.Errorf("churn mode requires an autopilot-configured table"))
 	}
-	rng := rand.New(rand.NewSource(seed))
-	mirror := rs.Clone()
-	prioOf := make(map[int]int32, mirror.Len())
-	for i := range mirror.Rules {
-		prioOf[mirror.Rules[i].ID] = mirror.Rules[i].Priority
-	}
 	fmt.Printf("churn: %d ops, policy %+v\n", ops, ap.Policy())
-
-	nextID := 1 << 24
-	var lookups, inserts, deletes, mismatches int
-	start := time.Now()
-	lastReport := start
-	lastOps := 0
-	for op := 0; op < ops; op++ {
-		switch x := rng.Float64(); {
-		case x < 0.60:
-			lookups++
-			p := make(rules.Packet, mirror.NumFields)
-			if mirror.Len() > 0 && rng.Intn(4) != 0 {
-				classbench.FillMatchingPacket(rng, &mirror.Rules[rng.Intn(mirror.Len())], p)
-			} else {
-				for d := range p {
-					p[d] = rng.Uint32()
-				}
-			}
-			got := t.Lookup(p)
-			if verify {
-				// File-loaded rule-sets may carry duplicate priorities, so
-				// compare by winning priority, not rule identity.
-				want := mirror.MatchID(p)
-				if got != want && ((got < 0) != (want < 0) || prioOf[got] != prioOf[want]) {
-					mismatches++
-				}
-			}
-		case x < 0.80 && mirror.Len() > 0:
-			// Insert a mutation of a random live rule under a fresh ID.
-			src := mirror.Rules[rng.Intn(mirror.Len())]
-			r := src
-			r.ID = nextID
-			nextID++
-			r.Priority = int32(rng.Intn(1 << 20))
-			r.Fields = append([]rules.Range(nil), src.Fields...)
-			if mirror.NumFields == rules.NumFiveTupleFields {
-				r.Fields[rules.FieldDstPort] = rules.ExactRange(uint32(rng.Intn(65536)))
-			}
-			if err := t.Insert(r); err != nil {
-				fatal(err)
-			}
-			mirror.Add(r)
-			prioOf[r.ID] = r.Priority
-			inserts++
-		default:
-			if mirror.Len() <= 16 {
-				continue
-			}
-			i := rng.Intn(mirror.Len())
-			id := mirror.Rules[i].ID
-			if err := t.Delete(id); err != nil {
-				fatal(err)
-			}
-			delete(prioOf, id)
-			mirror.Rules[i] = mirror.Rules[mirror.Len()-1]
-			mirror.Rules = mirror.Rules[:mirror.Len()-1]
-			deletes++
-		}
-		if now := time.Now(); now.Sub(lastReport) >= time.Second {
-			st := ap.Stats()
-			us := t.Updates()
-			fmt.Printf("  %7d ops (%6.0f ops/s)  live %6d  remfrac %.2f  retrains %d  last swap %v  trigger %q\n",
-				op+1, float64(op+1-lastOps)/now.Sub(lastReport).Seconds(),
-				us.LiveRules, us.RemainderFraction, st.Retrains, st.LastSwap.Round(time.Microsecond), st.LastTrigger)
-			lastReport, lastOps = now, op+1
-		}
-	}
+	n := churnLoop(t, rs.Clone(), ops, seed, verify, func(done int, rate float64) {
+		st := ap.Stats()
+		us := t.Updates()
+		fmt.Printf("  %7d ops (%6.0f ops/s)  live %6d  remfrac %.2f  retrains %d  last swap %v  trigger %q\n",
+			done, rate, us.LiveRules, us.RemainderFraction, st.Retrains,
+			st.LastSwap.Round(time.Microsecond), st.LastTrigger)
+	})
 	if ap.Stats().Retrains == 0 {
 		if _, err := ap.Check(); err != nil {
 			fatal(err)
 		}
 	}
-
 	st := ap.Stats()
 	us := t.Updates()
-	elapsed := time.Since(start)
-	fmt.Printf("churn done: %d ops in %v (%.0f ops/s): %d lookups, %d inserts, %d deletes\n",
-		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds(), lookups, inserts, deletes)
 	fmt.Printf("autopilot: %d retrains (%d failures), %d journaled updates replayed, max swap %v, total train %v\n",
 		st.Retrains, st.Failures, st.Replayed, st.MaxSwap.Round(time.Microsecond), st.TotalTrain.Round(time.Millisecond))
 	if st.PersistFailures > 0 {
 		fmt.Printf("autopilot: %d persist failures (last: %s)\n", st.PersistFailures, st.LastPersistError)
 	}
 	fmt.Printf("final: live %d rules, remainder fraction %.2f\n", us.LiveRules, us.RemainderFraction)
-	if verify {
-		fmt.Printf("verification: %d mismatches over %d lookups\n", mismatches, lookups)
-		if mismatches > 0 {
-			os.Exit(1)
-		}
-	}
+	finishChurn(ops, n, verify)
 }
 
 func readTrace(path string, numFields int) ([]rules.Packet, error) {

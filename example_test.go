@@ -109,3 +109,28 @@ func ExampleWithAutopilot() {
 	// true
 	// 102
 }
+
+// OpenCluster shards the same rule-set across independent engines: packets
+// route to exactly one shard, spanning rules are replicated, and the
+// answers are identical to the unsharded table's.
+func ExampleOpenCluster() {
+	cluster, err := nuevomatch.OpenCluster(figure2(),
+		nuevomatch.WithShards(2),
+		nuevomatch.WithPartitionField(0), // shard on the address field
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	addr, _ := nuevomatch.ParseIPv4("10.10.3.100")
+	fmt.Println(cluster.Lookup(nuevomatch.Packet{addr, 19}))
+
+	out := make([]int, 2)
+	addr2, _ := nuevomatch.ParseIPv4("10.9.0.1")
+	cluster.LookupBatch([]nuevomatch.Packet{{addr, 19}, {addr2, 6}}, out)
+	fmt.Println(out)
+	// Output:
+	// 3
+	// [3 2]
+}

@@ -60,6 +60,11 @@ type BenchArtifact struct {
 	// insert/delete/lookup workloads with drift-driven background retraining
 	// (retrain counts, swap latency, concurrent-lookup availability).
 	Churn *ChurnReport `json:"churn,omitempty"`
+
+	// Cluster, when present, is the sharded serving layer measured over the
+	// same profile: per-shard and merged throughput, replication overhead,
+	// and the merged-vs-single-engine batch ratio (see docs/BENCHMARKS.md).
+	Cluster *ClusterReport `json:"cluster,omitempty"`
 }
 
 // PersistenceReport measures the Save → Load round trip of the built

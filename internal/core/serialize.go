@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"sync"
@@ -55,6 +56,24 @@ var tableMagic = [6]byte{'N', 'M', 'T', 'B', 'L', 1}
 // tableFormatVersion is bumped on any incompatible codec change; readers
 // reject versions they do not know.
 const tableFormatVersion = 1
+
+// The codec appends a fixed-size integrity trailer after the version-1
+// payload: 4 magic bytes followed by the little-endian CRC32-C checksum of
+// every preceding byte. The trailer is v1-compatible in both directions —
+// pre-trailer readers never look past the fields they decode, and ReadEngine
+// accepts trailer-less artifacts written before the trailer existed — but
+// when the trailer is present the checksum MUST verify, and it is checked
+// before any payload decoding, so a torn or bit-flipped write is rejected
+// up front instead of surfacing as a confusing model-decode error (or, worse,
+// loading into a silently wrong table).
+var tableTrailerMagic = [4]byte{'N', 'M', 'K', '1'}
+
+// tableTrailerLen is the trailer's size: magic plus CRC32-C.
+const tableTrailerLen = 8
+
+// castagnoli is the CRC32-C polynomial table shared by writer and reader
+// (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Plausibility caps enforced while reading, sized far above anything the
 // engine produces so they only reject corrupt or adversarial input.
@@ -232,6 +251,12 @@ func (e *Engine) WriteTo(w io.Writer) (int64, error) {
 	if err := put(int64(e.stats.TrainingTime)); err != nil {
 		return cw.n, err
 	}
+	var trailer [tableTrailerLen]byte
+	copy(trailer[:4], tableTrailerMagic[:])
+	binary.LittleEndian.PutUint32(trailer[4:], cw.crc)
+	if err := put(trailer); err != nil {
+		return cw.n, err
+	}
 	return cw.n, bw.Flush()
 }
 
@@ -284,15 +309,19 @@ func putRules(put func(any) error, rs []rules.Rule) error {
 	return nil
 }
 
-// countWriter mirrors the rqrmi serializer's byte accounting.
+// countWriter mirrors the rqrmi serializer's byte accounting and maintains
+// the running CRC32-C of everything written, so WriteTo can emit the
+// integrity trailer without buffering the payload.
 type countWriter struct {
-	w io.Writer
-	n int64
+	w   io.Writer
+	n   int64
+	crc uint32
 }
 
 func (c *countWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
 	return n, err
 }
 
@@ -306,8 +335,31 @@ func (c *countWriter) Write(p []byte) (int, error) {
 // published — so the loaded engine answers lookups identically to the saved
 // one, zero-lock from the first packet. Malformed input returns an error;
 // it never panics.
+//
+// When the artifact carries the CRC32-C integrity trailer (everything
+// written since the trailer was introduced does), the checksum is verified
+// before any payload decoding, so torn writes are caught up front.
+// Trailer-less version-1 artifacts are still accepted.
 func ReadEngine(r io.Reader, remainder rules.Builder) (*Engine, error) {
-	br := bufio.NewReader(r)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading table: %w", err)
+	}
+	if n := len(data); n >= tableTrailerLen && [4]byte(data[n-tableTrailerLen:n-4]) == tableTrailerMagic {
+		want := binary.LittleEndian.Uint32(data[n-4:])
+		payload := data[:n-tableTrailerLen]
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return nil, fmt.Errorf("core: table checksum mismatch (stored %08x, computed %08x) — torn or corrupted write", want, got)
+		}
+		data = payload
+	}
+	return readEngineBody(data, remainder)
+}
+
+// readEngineBody decodes one version-1 payload (integrity trailer already
+// stripped and verified by ReadEngine, when present).
+func readEngineBody(data []byte, remainder rules.Builder) (*Engine, error) {
+	br := bufio.NewReader(bytes.NewReader(data))
 	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
 
 	var got [6]byte
@@ -470,6 +522,12 @@ func ReadEngine(r io.Reader, remainder rules.Builder) (*Engine, error) {
 		return nil, fmt.Errorf("core: negative training time %d", tt)
 	}
 	stats.TrainingTime = time.Duration(tt)
+
+	// The payload must end exactly here: leftover bytes mean a corrupt
+	// length field upstream or a mangled trailer, both worth rejecting.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("core: trailing garbage after table payload")
+	}
 
 	return assembleEngine(opts, rs, bitmap, isets, remainderRules, ustats, stats)
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 
 	"nuevomatch/internal/classbench"
@@ -175,18 +176,81 @@ func TestReadEngineTruncationAndCorruption(t *testing.T) {
 	blob := saveEngine(t, d.e)
 
 	for n := 0; n < len(blob); n++ {
-		if _, err := ReadEngine(bytes.NewReader(blob[:n]), nil); err == nil {
-			t.Fatalf("truncation at %d/%d bytes loaded without error", n, len(blob))
+		loaded, err := ReadEngine(bytes.NewReader(blob[:n]), nil)
+		if err == nil {
+			// The one admissible truncation point: cutting exactly the
+			// integrity trailer leaves a well-formed trailer-less artifact,
+			// which back-compat with pre-trailer files requires accepting.
+			if n != len(blob)-tableTrailerLen {
+				t.Fatalf("truncation at %d/%d bytes loaded without error", n, len(blob))
+			}
+			loaded.Close()
 		}
 	}
-	// Bit flips must never panic; stride keeps the sweep fast.
+	// With the CRC32-C trailer, every byte flip — payload or trailer — must
+	// be rejected, and rejected without panicking.
 	for off := 0; off < len(blob); off += 7 {
 		mut := append([]byte(nil), blob...)
 		mut[off] ^= 0xff
 		if e2, err := ReadEngine(bytes.NewReader(mut), nil); err == nil {
-			e2.Lookup(make(rules.Packet, d.mirror.NumFields))
 			e2.Close()
+			t.Fatalf("bit flip at offset %d loaded without error (checksum not enforced)", off)
 		}
+	}
+}
+
+// TestCodecTrailer pins the CRC32-C integrity trailer's contract: new
+// artifacts end with it, corruption anywhere is rejected before model decode,
+// a stripped trailer degrades to the accepted v1 form, and garbage past the
+// trailer cannot smuggle itself in.
+func TestCodecTrailer(t *testing.T) {
+	prof, err := classbench.ProfileByName("acl3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newChurnDriver(t, prof, 120, 60, fastOpts(), 33)
+	for d.inserts+d.deletes < 25 {
+		d.step()
+	}
+	blob := saveEngine(t, d.e)
+
+	if len(blob) < tableTrailerLen {
+		t.Fatalf("implausibly small table: %d bytes", len(blob))
+	}
+	trailer := blob[len(blob)-tableTrailerLen:]
+	if [4]byte(trailer[:4]) != tableTrailerMagic {
+		t.Fatalf("saved table does not end with the trailer magic: % x", trailer)
+	}
+
+	// Payload corruption must be caught by the checksum, as a checksum error
+	// (not a decode error deep inside a model blob).
+	mut := append([]byte(nil), blob...)
+	mut[len(mut)/2] ^= 0x01
+	if _, err := ReadEngine(bytes.NewReader(mut), nil); err == nil {
+		t.Fatal("corrupted payload loaded without error")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted payload rejected, but not by the checksum: %v", err)
+	}
+
+	// A corrupted stored checksum is equally fatal.
+	mut = append([]byte(nil), blob...)
+	mut[len(mut)-1] ^= 0xff
+	if _, err := ReadEngine(bytes.NewReader(mut), nil); err == nil {
+		t.Fatal("corrupted trailer checksum loaded without error")
+	}
+
+	// Stripping the trailer yields a valid pre-trailer v1 artifact: it must
+	// load and answer identically (backward compatibility).
+	stripped, err := ReadEngine(bytes.NewReader(blob[:len(blob)-tableTrailerLen]), nil)
+	if err != nil {
+		t.Fatalf("trailer-less v1 artifact rejected: %v", err)
+	}
+	defer stripped.Close()
+	verifyLoadedEquivalence(t, d.e, stripped, d.mirror, d.rng, 200)
+
+	// Bytes after the trailer make the whole input untrustworthy.
+	if _, err := ReadEngine(bytes.NewReader(append(append([]byte(nil), blob...), 0xde, 0xad)), nil); err == nil {
+		t.Fatal("trailing garbage after the trailer loaded without error")
 	}
 }
 
@@ -353,6 +417,11 @@ func tableSeedCorpus() [][]byte {
 	tiny.AddAuto(rules.FullRange(), rules.ExactRange(80))
 	if e, err := Build(tiny, fastOpts()); err == nil {
 		add(e)
+	}
+	// A trailer-less v1 seed: the pre-trailer form stays load-bearing for
+	// backward compatibility, so the fuzzer must keep exploring it too.
+	if len(seeds) > 0 && len(seeds[0]) > tableTrailerLen {
+		seeds = append(seeds, seeds[0][:len(seeds[0])-tableTrailerLen])
 	}
 	return seeds
 }

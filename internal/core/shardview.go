@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math"
+
+	"nuevomatch/internal/rules"
+)
+
+// ShardView is a pinned read view of one engine: the immutable snapshot that
+// was current when View was called. It exists for multi-engine merge paths —
+// the cluster's scatter/gather fans one batch out to several engines, and
+// pinning each engine's snapshot once per batch means the whole sub-batch is
+// answered against a single consistent state with a single atomic load,
+// instead of re-loading the snapshot pointer (and potentially observing a
+// concurrent publish) per packet. A view stays valid indefinitely — the
+// snapshot it pins is immutable and lookups against it are lock-free — it
+// just stops reflecting updates published after View returned.
+type ShardView struct {
+	s *snapshot
+}
+
+// View pins the engine's current snapshot. O(1): one atomic pointer load.
+func (e *Engine) View() ShardView { return ShardView{s: e.snapshot()} }
+
+// Valid reports whether the view carries a snapshot (the zero ShardView does
+// not).
+func (v ShardView) Valid() bool { return v.s != nil }
+
+// Lookup runs the single-packet early-termination flow of §4 against the
+// pinned snapshot. Same results as Engine.Lookup at the moment the view was
+// taken.
+func (v ShardView) Lookup(p rules.Packet) int {
+	return v.s.lookup(p, math.MaxInt32)
+}
+
+// LookupWithBound is Lookup under an externally known best priority.
+func (v ShardView) LookupWithBound(p rules.Packet, bestPrio int32) int {
+	return v.s.lookup(p, bestPrio)
+}
+
+// LookupBatch classifies len(pkts) packets into out (which must have at
+// least len(pkts) entries) with batched RQ-RMI inference against the pinned
+// snapshot. Zero-alloc in steady state, like Engine.LookupBatch.
+func (v ShardView) LookupBatch(pkts []rules.Packet, out []int) {
+	v.s.lookupBatch(pkts, out)
+}

@@ -1,71 +1,5 @@
-// Package nuevomatch is the public API of this repository: a Go
-// implementation of NuevoMatch, the RQ-RMI-based packet classification
-// system of "A Computational Approach to Packet Classification"
-// (Rashelbach, Rottenstreich, Silberstein — SIGCOMM 2020).
-//
-// # Quickstart
-//
-// The package is organized around a serializable Table handle with a
-// Build → Save → Load lifecycle, configured by functional options:
-//
-//	rs := nuevomatch.NewRuleSet(nuevomatch.NumFiveTupleFields)
-//	rs.AddAuto(
-//	    nuevomatch.PrefixRange(ip, 24),   // source IP
-//	    nuevomatch.FullRange(),           // destination IP
-//	    nuevomatch.FullRange(),           // source port
-//	    nuevomatch.ExactRange(443),       // destination port
-//	    nuevomatch.ExactRange(6),         // protocol (TCP)
-//	)
-//	table, err := nuevomatch.Open(rs)     // trains the RQ-RMI models
-//	id := table.Lookup(pkt)               // winning rule ID, -1 if none
-//
-// The table partitions the rules into iSets indexed by RQ-RMI neural
-// models and a remainder indexed by an external classifier (TupleMerge by
-// default; CutSplit and NeuroCuts builders are provided). Lookups run the
-// paper's full pipeline — model inference, bounded secondary search,
-// multi-field validation, highest-priority selection, and the
-// early-termination remainder query — lock-free on every path.
-//
-// # Persistence
-//
-// Training is the expensive half of NuevoMatch (§3.9: minutes at 500K
-// rules); lookups amortize it. Tables therefore serialize, so the training
-// happens offline, once:
-//
-//	table.SaveFile("acl.nm")                      // build box
-//	table, err := nuevomatch.LoadFile("acl.nm")   // serving box: no retraining
-//
-// Load reconstructs a lookup-identical table in milliseconds: models
-// deserialize, the remainder rebuilds from its saved rules, and the first
-// packet is served from the same zero-lock snapshot machinery as the
-// millionth. Online drift (Insert/Delete/Modify) is captured by Save too —
-// a table saved mid-churn reloads with its updates intact.
-//
-// # Updates and the autopilot
-//
-// Tables take online updates concurrently with lookups (§3.9) and retrain
-// in place via Retrain, a hot swap behind the handle. WithAutopilot
-// automates the loop — a drift policy trips background retraining — and
-// WithAutopilotPersist re-saves the artifact after every swap:
-//
-//	table, err := nuevomatch.Open(rs,
-//	    nuevomatch.WithAutopilot(nuevomatch.AutopilotPolicy{MaxUpdates: 4096}),
-//	    nuevomatch.WithAutopilotPersist("acl.nm"),
-//	)
-//
-// # Conventions
-//
-// Rule priorities are numeric with smaller values winning, matching the
-// paper's "priority 1 (highest)" convention. Matching is over 32-bit
-// fields; wider fields are split into 32-bit chunks as in §4 of the paper.
-//
-// # Migration from the Options struct
-//
-// The pre-Table surface — Build(rs, Options{...}) returning an *Engine —
-// still compiles and behaves identically, but is deprecated: Open with
-// functional options replaces it, and *Table wraps the same engine (see
-// Table.Engine for the escape hatch). Options and Engine remain exported
-// for that shim and for code that embeds them.
+// The package documentation lives in doc.go; this file holds the
+// re-exported model types, constants, and constructor shims.
 package nuevomatch
 
 import (
@@ -135,7 +69,28 @@ type (
 	// RetrainStats reports one in-place retrain (train time, swap time,
 	// journaled updates replayed).
 	RetrainStats = core.RetrainStats
+
+	// ClusterStats is a point-in-time structural summary of a Cluster:
+	// shard count, routing function, per-shard rule counts, and replication
+	// overhead.
+	ClusterStats = core.ClusterStats
+	// PartitionKind names a cluster partitioning strategy (ClusterStats.Kind).
+	PartitionKind = core.PartitionKind
 )
+
+// Cluster partitioning strategies, as reported by ClusterStats.Kind. The
+// default is range partitioning; WithHashPartition selects hashing.
+const (
+	// PartitionRange splits the partition field's value space at cut points
+	// chosen from the rule distribution.
+	PartitionRange = core.PartitionRange
+	// PartitionHash maps partition-field values through a fixed hash; rules
+	// that are not exact in the field replicate to every shard.
+	PartitionHash = core.PartitionHash
+)
+
+// MaxClusterShards is the widest cluster WithShards accepts.
+const MaxClusterShards = core.MaxClusterShards
 
 // Field indices of the 5-tuple layout.
 const (
