@@ -162,8 +162,31 @@ func BenchmarkTable1SubmodelInference(b *testing.B) {
 			sink += out[0]
 		}
 	})
-	if sink == 42.420001 {
-		b.Log("sink", sink)
+	var sink32 float32
+	b.Run("batch8f32", func(b *testing.B) {
+		var in [8]uint32
+		var out [8]float32
+		for i := 0; i < b.N; i += 8 {
+			j := i & 4088
+			copy(in[:], keys[j:j+8])
+			k.Eval8F32(&in, &out, false)
+			sink32 += out[0]
+		}
+	})
+	if rqrmi.HasAsmKernel() {
+		b.Run("batch8avx2", func(b *testing.B) {
+			var in [8]uint32
+			var out [8]float32
+			for i := 0; i < b.N; i += 8 {
+				j := i & 4088
+				copy(in[:], keys[j:j+8])
+				k.Eval8F32(&in, &out, true)
+				sink32 += out[0]
+			}
+		})
+	}
+	if sink == 42.420001 || sink32 == 42.42 {
+		b.Log("sink", sink, sink32)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"nuevomatch/internal/analysis"
+	"nuevomatch/internal/rqrmi"
 )
 
 func main() {
@@ -39,8 +40,15 @@ func main() {
 		churnOps = flag.Int("churnops", 20000, "churn-experiment operations per profile recorded into the benchjson artifact (0 disables)")
 		shards   = flag.Int("shards", 2, "cluster-experiment shard count recorded into the benchjson artifact (0 disables)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		kernel   = flag.String("kernel", "auto", "rqrmi inference kernel: auto, go (pure-Go float32), asm (AVX2 assembly; errors when unsupported)")
+		minBatch = flag.Float64("minbatch", 0, "with -benchjson: exit non-zero unless batch_speedup >= this ratio (0 disables; the CI perf gate)")
 	)
 	flag.Parse()
+
+	if err := rqrmi.SetKernelMode(*kernel); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -80,6 +88,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", path)
+		m := a.Machine
+		fmt.Printf("  machine:         %s/%s, %d CPUs (GOMAXPROCS %d), simd %v, kernel %s\n",
+			m.GoOS, m.GoArch, m.NumCPU, m.GOMAXPROCS, m.SIMDFeatures, m.Kernel)
+		fmt.Printf("  conformance:     batch vs scalar %d/%d packets identical\n",
+			a.BatchVerifiedPackets-a.BatchMismatches, a.BatchVerifiedPackets)
 		fmt.Printf("  lookup:          %12.0f pps  p50 %6.0f ns  p99 %6.0f ns  %.2f allocs/op\n",
 			a.Lookup.ThroughputPPS, a.Lookup.P50Nanos, a.Lookup.P99Nanos, a.Lookup.AllocsPerOp)
 		fmt.Printf("  lookup_batch:    %12.0f pps  p50 %6.0f ns  p99 %6.0f ns  %.2f allocs/op  (%.2fx speedup)\n",
@@ -110,6 +123,16 @@ func main() {
 				fmt.Printf("    shard %02d       %6d rules  %6d trace pkts  %12.0f pps batch\n",
 					s, sp.Rules, sp.TracePackets, sp.ThroughputPPS)
 			}
+		}
+		if a.BatchMismatches != 0 {
+			fmt.Fprintf(os.Stderr, "benchrunner: batched path disagreed with scalar path on %d/%d packets\n",
+				a.BatchMismatches, a.BatchVerifiedPackets)
+			os.Exit(1)
+		}
+		if *minBatch > 0 && a.BatchSpeedup < *minBatch {
+			fmt.Fprintf(os.Stderr, "benchrunner: batch speedup %.2fx below the required %.2fx (machine: %d CPUs, kernel %s)\n",
+				a.BatchSpeedup, *minBatch, m.NumCPU, m.Kernel)
+			os.Exit(1)
 		}
 		return
 	}

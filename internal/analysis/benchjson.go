@@ -13,6 +13,8 @@ import (
 
 	"nuevomatch/internal/classbench"
 	"nuevomatch/internal/core"
+	"nuevomatch/internal/cpu"
+	"nuevomatch/internal/rqrmi"
 	"nuevomatch/internal/rules"
 	"nuevomatch/internal/trace"
 )
@@ -28,6 +30,12 @@ type BenchArtifact struct {
 	GoVersion string `json:"go_version"`
 	NumCPU    int    `json:"num_cpu"`
 	Timestamp string `json:"timestamp"`
+
+	// Machine pins the hardware and runtime context of the run: a
+	// BatchSpeedup measured on a single-core container and one from an
+	// 8-core runner are different experiments, and the artifact must say
+	// which one it records.
+	Machine MachineInfo `json:"machine"`
 
 	Engine struct {
 		Coverage          float64 `json:"coverage"`
@@ -50,6 +58,13 @@ type BenchArtifact struct {
 	// number the batched-inference refactor is accountable for.
 	BatchSpeedup float64 `json:"batch_speedup"`
 
+	// BatchVerifiedPackets/BatchMismatches record the conformance pass run
+	// before any timing: the batched path (float32 SIMD kernel included) is
+	// replayed over the whole trace against per-packet Lookup. A speedup is
+	// only admissible evidence when BatchMismatches is zero.
+	BatchVerifiedPackets int `json:"batch_verified_packets"`
+	BatchMismatches      int `json:"batch_mismatches"`
+
 	// Persistence records the table codec's amortization story: what Build
 	// spent training versus what Save and a warm-start Load cost on the same
 	// host, with the loaded table verified lookup-identical against the
@@ -65,6 +80,32 @@ type BenchArtifact struct {
 	// same profile: per-shard and merged throughput, replication overhead,
 	// and the merged-vs-single-engine batch ratio (see docs/BENCHMARKS.md).
 	Cluster *ClusterReport `json:"cluster,omitempty"`
+}
+
+// MachineInfo is the benchmark host fingerprint embedded in every artifact.
+type MachineInfo struct {
+	GoArch     string `json:"goarch"`
+	GoOS       string `json:"goos"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// SIMDFeatures are the vector ISA extensions detected at startup
+	// (internal/cpu); empty on non-amd64 or noasm builds.
+	SIMDFeatures []string `json:"simd_features"`
+	// Kernel is the active RQ-RMI batched-inference kernel ("avx2" or
+	// "go-f32"), after any -kernel override.
+	Kernel string `json:"kernel"`
+}
+
+// CurrentMachine captures the host fingerprint for artifacts.
+func CurrentMachine() MachineInfo {
+	return MachineInfo{
+		GoArch:       runtime.GOARCH,
+		GoOS:         runtime.GOOS,
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		SIMDFeatures: cpu.Features(),
+		Kernel:       rqrmi.KernelName(),
+	}
 }
 
 // PersistenceReport measures the Save → Load round trip of the built
@@ -137,6 +178,7 @@ func RunBenchArtifact(profileName string, size, traceLen int, seed int64) (*Benc
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Machine:   CurrentMachine(),
 	}
 	st := e.Stats()
 	a.Engine.Coverage = st.Coverage
@@ -153,6 +195,18 @@ func RunBenchArtifact(profileName string, size, traceLen int, seed int64) (*Benc
 		return nil, fmt.Errorf("persistence: %w", err)
 	}
 	a.Persistence = per
+
+	// Conformance before timing: the batched path must agree with the
+	// scalar path packet-for-packet, or the speedup below measures a
+	// different function.
+	bout := make([]int, len(tr.Packets))
+	e.LookupBatch(tr.Packets, bout)
+	for i, p := range tr.Packets {
+		if bout[i] != e.Lookup(p) {
+			a.BatchMismatches++
+		}
+	}
+	a.BatchVerifiedPackets = len(tr.Packets)
 
 	a.Lookup = measureScalar(e, tr.Packets)
 	a.LookupBatch = measureBatch(tr.Packets, BatchSize, func(pkts []rules.Packet, out []int) {

@@ -175,6 +175,13 @@ func (s *snapshot) lookupBatch(pkts []rules.Packet, out []int) {
 			n = chunk
 		}
 		block := pkts[off : off+n]
+		if s.rem.prefetch != nil {
+			// Warm the frozen remainder's directory lines for this chunk
+			// while the RQ-RMI stages below keep the core busy: by the time
+			// the frozen LookupBatch probes run, their cache misses have
+			// already been in flight for the whole inference.
+			s.rem.prefetch.PrefetchBatch(block)
+		}
 		s.isetChunk(block, keys, ents, best[:n], bestPrio[:n])
 		if s.rem.frozen != nil {
 			// Frozen path: pre-fill with the iSet winners, then let the
@@ -221,13 +228,14 @@ func (s *snapshot) lookupBatch(pkts []rules.Packet, out []int) {
 // remainder rules, so the priority comparisons of the merge paths are
 // binary searches over flat slices instead of map accesses.
 type remainderAdapter struct {
-	frozen  rules.FrozenClassifier       // non-nil: compiled lock-free path
-	overlay *remOverlay                  // updates since the freeze; non-nil iff frozen is
-	bounded rules.BoundedClassifier      // nil when the classifier lacks bounds
-	batch   rules.BatchBoundedClassifier // nil when batched queries are unsupported
-	plain   rules.Classifier
-	ids     []int   // sorted remainder rule IDs
-	prios   []int32 // prios[i] is the priority of ids[i]
+	frozen   rules.FrozenClassifier       // non-nil: compiled lock-free path
+	overlay  *remOverlay                  // updates since the freeze; non-nil iff frozen is
+	prefetch rules.BatchPrefetcher        // non-nil when frozen can pre-warm its probes
+	bounded  rules.BoundedClassifier      // nil when the classifier lacks bounds
+	batch    rules.BatchBoundedClassifier // nil when batched queries are unsupported
+	plain    rules.Classifier
+	ids      []int   // sorted remainder rule IDs
+	prios    []int32 // prios[i] is the priority of ids[i]
 }
 
 // newRemainderAdapter resolves the classifier's capabilities once at
@@ -238,6 +246,9 @@ type remainderAdapter struct {
 // O(1).
 func newRemainderAdapter(c rules.Classifier, frozen rules.FrozenClassifier, overlay *remOverlay, ids []int, prios []int32) remainderAdapter {
 	ra := remainderAdapter{plain: c, frozen: frozen, overlay: overlay, ids: ids, prios: prios}
+	if pf, ok := frozen.(rules.BatchPrefetcher); ok {
+		ra.prefetch = pf
+	}
 	if bc, ok := c.(rules.BoundedClassifier); ok {
 		ra.bounded = bc
 	}

@@ -1,0 +1,42 @@
+//go:build amd64 && !noasm
+
+package cpu
+
+// HasPrefetch is true when Prefetch issues a real PREFETCHT0; callers use
+// it to skip the address-computation loop entirely on builds where Prefetch
+// is a no-op.
+const HasPrefetch = true
+
+// cpuid executes CPUID with the given leaf/subleaf. Implemented in
+// cpu_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (OS-enabled extended state). Only valid when CPUID
+// reports OSXSAVE. Implemented in cpu_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	X86.HasSSE42 = ecx1&(1<<20) != 0
+	X86.HasFMA = ecx1&(1<<12) != 0
+	osxsave := ecx1&(1<<27) != 0
+	avx := ecx1&(1<<28) != 0
+	if !osxsave || !avx {
+		return
+	}
+	// The OS must save both the XMM (bit 1) and YMM (bit 2) state across
+	// context switches, or 256-bit registers are silently corrupted.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return
+	}
+	X86.HasAVX = true
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		X86.HasAVX2 = ebx7&(1<<5) != 0
+	}
+}

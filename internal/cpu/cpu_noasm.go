@@ -1,0 +1,12 @@
+//go:build !amd64 || noasm
+
+package cpu
+
+import "unsafe"
+
+// HasPrefetch is false on portable builds: Prefetch is a no-op, and callers
+// should skip the address-computation work feeding it.
+const HasPrefetch = false
+
+// Prefetch is a no-op on portable builds.
+func Prefetch(p unsafe.Pointer) { _ = p }

@@ -1,0 +1,16 @@
+package cpu
+
+import "testing"
+
+// TestFeaturesStable asserts detection ran (amd64) and Features is
+// consistent with the flags; on noasm builds everything must be false.
+func TestFeaturesStable(t *testing.T) {
+	fs := Features()
+	t.Logf("features=%v avx2=%v prefetch=%v", fs, X86.HasAVX2, HasPrefetch)
+	if X86.HasAVX2 && !X86.HasAVX {
+		t.Fatal("AVX2 implies AVX")
+	}
+	if !HasPrefetch && len(fs) != 0 {
+		t.Fatal("noasm build must report no features")
+	}
+}

@@ -1,0 +1,12 @@
+//go:build amd64 && !noasm
+
+package cpu
+
+import "unsafe"
+
+// Prefetch hints the CPU to pull the cache line containing p into L1
+// (PREFETCHT0). It never faults, even on wild addresses. Implemented in
+// cpu_amd64.s.
+//
+//go:noescape
+func Prefetch(p unsafe.Pointer)

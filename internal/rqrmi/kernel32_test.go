@@ -1,0 +1,110 @@
+package rqrmi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomFlat32 builds a single-submodel flatStages32 with the given hidden
+// width and pseudo-random but finite parameters.
+func randomFlat32(rng *rand.Rand, h int) *flatStages32 {
+	f := &flatStages32{
+		h:   h,
+		off: []int32{0},
+		tri: make([]float32, 3*h),
+		hdr: make([]float32, 3),
+	}
+	for k := 0; k < h; k++ {
+		f.tri[3*k] = float32(rng.NormFloat64() * 10)  // w1
+		f.tri[3*k+1] = float32(rng.NormFloat64() * 2) // b1
+		f.tri[3*k+2] = float32(rng.NormFloat64())     // w2
+	}
+	f.hdr[0] = float32(rng.Float64() * 0.5)     // inLo
+	f.hdr[1] = float32(1 + rng.Float64()*100)   // invSpan
+	f.hdr[2] = float32(rng.NormFloat64() * 0.1) // b2
+	return f
+}
+
+// TestAsmGoKernelBitIdentical drives the AVX2 kernel and the pure-Go kernel
+// over identical inputs — random lanes plus adversarial values (-0,
+// denormals, values straddling the clamp) — and demands exact bit equality
+// on every lane, for every hidden width and for every length mod 16 (to
+// cover the 16-wide, 8-wide and Go-tail paths).
+func TestAsmGoKernelBitIdentical(t *testing.T) {
+	if !HasAsmKernel() {
+		t.Skip("assembly kernel not available on this build/host")
+	}
+	rng := rand.New(rand.NewSource(6))
+	for _, h := range []int{1, 2, 7, 8, 9} {
+		f := randomFlat32(rng, h)
+		for _, n := range []int{1, 7, 8, 9, 15, 16, 17, 64, 128, 129} {
+			x := make([]float32, n)
+			for i := range x {
+				switch i % 7 {
+				case 0:
+					x[i] = float32(math.Copysign(0, -1)) // -0
+				case 1:
+					x[i] = math.Float32frombits(1) // smallest denormal
+				case 2:
+					x[i] = f.hdr[0] // exactly inLo → u = ±0
+				default:
+					x[i] = rng.Float32()
+				}
+			}
+			got := make([]float32, n)
+			want := make([]float32, n)
+			f.evalBlock(0, x, got, true)
+			f.evalBlockGo(0, x, want)
+			for i := range got {
+				if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("h=%d n=%d lane %d: asm %08x (%g) != go %08x (%g) for x=%g",
+						h, n, i, math.Float32bits(got[i]), got[i],
+						math.Float32bits(want[i]), want[i], x[i])
+				}
+			}
+		}
+	}
+}
+
+// FuzzKernelEquivalence fuzzes one hidden unit's parameters, the submodel
+// header and two input keys, asserting asm ≡ Go bitwise across an 8-lane
+// block. Parameters are sanitized to finite values only — the kernels agree
+// on NaN/Inf select direction by design, but fuzzing asserts the contract
+// on the domain trained models inhabit.
+func FuzzKernelEquivalence(f *testing.F) {
+	if !HasAsmKernel() {
+		f.Skip("assembly kernel not available on this build/host")
+	}
+	f.Add(float32(1), float32(0), float32(1), float32(0), float32(1), float32(0), float32(0.25), float32(0.75))
+	f.Add(float32(-3.5), float32(0.1), float32(-1), float32(0.5), float32(64), float32(-0.01), float32(0.5), float32(0.5))
+	// -0 and denormal inputs; weights crossing the ReLU knee.
+	f.Add(float32(math.Copysign(0, -1)), float32(0), float32(2), float32(0), float32(8), float32(0),
+		math.Float32frombits(1), math.Float32frombits(0x80000001))
+	f.Add(float32(1e20), float32(-1e20), float32(1e-20), float32(0.9999999), float32(1e10), float32(1), float32(0), float32(1))
+	fin := func(v float32) float32 {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return 0
+		}
+		return v
+	}
+	f.Fuzz(func(t *testing.T, w1, b1, w2, inLo, invSp, b2, x0, x1 float32) {
+		fl := &flatStages32{
+			h:   2,
+			off: []int32{0},
+			tri: []float32{fin(w1), fin(b1), fin(w2), fin(w2), fin(w1), fin(b1)},
+			hdr: []float32{fin(inLo), fin(invSp), fin(b2)},
+		}
+		x := []float32{fin(x0), fin(x1), fin(x0) + 1, fin(x1) - 1, 0, 0.5, fin(x0) * 0.5, fin(x1) * 2}
+		got := make([]float32, len(x))
+		want := make([]float32, len(x))
+		fl.evalBlock(0, x, got, true)
+		fl.evalBlockGo(0, x, want)
+		for i := range got {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("lane %d: asm %08x != go %08x (x=%g params=%v hdr=%v)",
+					i, math.Float32bits(got[i]), math.Float32bits(want[i]), x[i], fl.tri, fl.hdr)
+			}
+		}
+	})
+}

@@ -1,0 +1,18 @@
+//go:build amd64 && !noasm
+
+package rqrmi
+
+import "nuevomatch/internal/cpu"
+
+// asmKernelAvailable is decided at startup from CPUID: the assembly kernel
+// needs AVX2 (VBROADCASTSS from register, VPBROADCASTD) plus OS-enabled YMM
+// state. internal/cpu's init runs first by package dependency order.
+var asmKernelAvailable = cpu.X86.HasAVX2
+
+// evalBlockAVX2 evaluates one submodel over n keys (n > 0, n%8 == 0,
+// h > 0). tri points at the submodel's h interleaved (w1, b1, w2) triplets,
+// hdr at its {inLo, invSpan, b2} header. Bit-identical to
+// flatStages32.evalBlockGo by construction; see kernel_amd64.s.
+//
+//go:noescape
+func evalBlockAVX2(tri *float32, h int64, hdr *float32, x *float32, y *float32, n int64)

@@ -1,0 +1,129 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func evalBlockAVX2(tri *float32, h int64, hdr *float32, x *float32, y *float32, n int64)
+//
+// 8-wide fused two-layer RQ-RMI submodel evaluation (paper §4.1): for each
+// key lane,
+//
+//	u = (x - inLo) * invSpan
+//	y = b2 + Σ_k w2[k] * relu(u*w1[k] + b1[k])
+//	y = min(max(y, +0), 1-2^-24)
+//
+// The Go assembler's operand order is Intel-reversed (destination last), so
+// e.g. VMAXPS Y15, Y4, Y4 is Intel vmaxps y4, y4, y15: src2 = Y15. VMAXPS/
+// VMINPS return src2 when the sources compare equal (±0) or either is NaN —
+// placing the constant in src2 makes the select direction match the Go
+// kernel's negated comparisons (`if !(z > 0) { z = 0 }`) bit for bit.
+//
+// No FMA anywhere: VMULPS then VADDPS, two roundings, so results are
+// reproducible against the pure-Go kernel on every host.
+//
+// Layout: tri holds h interleaved (w1, b1, w2) triplets — 12 bytes per
+// hidden unit, one submodel's parameters contiguous; hdr = {inLo, invSpan,
+// b2}. The main loop runs 16 keys per iteration (two YMM accumulators to
+// hide VADDPS latency); an 8-wide loop finishes. The caller guarantees
+// n > 0, n%8 == 0 and h > 0; sub-8 tails take the Go kernel.
+//
+// Register plan:
+//	Y12 inLo   Y13 invSpan   Y14 b2   Y15 +0.0   Y11 clampHi (1-2^-24)
+//	Y0,Y1 normalized inputs u   Y2,Y3 accumulators   Y4,Y5 scratch z
+//	Y8 w1   Y9 b1   Y10 w2 (broadcast per hidden unit)
+//	R8 tri base   R9 h   R10 x cursor   R11 y cursor   R12 keys left
+//	BX tri cursor   CX hidden-unit counter
+TEXT ·evalBlockAVX2(SB), NOSPLIT, $0-48
+	MOVQ tri+0(FP), R8
+	MOVQ h+8(FP), R9
+	MOVQ hdr+16(FP), AX
+	MOVQ x+24(FP), R10
+	MOVQ y+32(FP), R11
+	MOVQ n+40(FP), R12
+
+	VBROADCASTSS (AX), Y12  // inLo
+	VBROADCASTSS 4(AX), Y13 // invSpan
+	VBROADCASTSS 8(AX), Y14 // b2
+	VXORPS       Y15, Y15, Y15
+
+	// clampHi = 0x3F7FFFFF = 1 - 2^-24, largest float32 < 1.0
+	MOVL         $0x3F7FFFFF, AX
+	VMOVD        AX, X11
+	VPBROADCASTD X11, Y11
+
+loop16:
+	CMPQ    R12, $16
+	JL      loop8
+	VMOVUPS (R10), Y0
+	VMOVUPS 32(R10), Y1
+	VSUBPS  Y12, Y0, Y0 // u = x - inLo
+	VMULPS  Y13, Y0, Y0 // u *= invSpan
+	VSUBPS  Y12, Y1, Y1
+	VMULPS  Y13, Y1, Y1
+	VMOVAPS Y14, Y2     // y = b2
+	VMOVAPS Y14, Y3
+	MOVQ    R8, BX
+	MOVQ    R9, CX
+
+inner16:
+	VBROADCASTSS (BX), Y8   // w1[k]
+	VBROADCASTSS 4(BX), Y9  // b1[k]
+	VBROADCASTSS 8(BX), Y10 // w2[k]
+	VMULPS       Y8, Y0, Y4
+	VADDPS       Y9, Y4, Y4 // z = u*w1 + b1
+	VMAXPS       Y15, Y4, Y4 // relu; src2=+0 wins on -0/NaN
+	VMULPS       Y10, Y4, Y4
+	VADDPS       Y4, Y2, Y2 // y += w2*relu(z)
+	VMULPS       Y8, Y1, Y5
+	VADDPS       Y9, Y5, Y5
+	VMAXPS       Y15, Y5, Y5
+	VMULPS       Y10, Y5, Y5
+	VADDPS       Y5, Y3, Y3
+	ADDQ         $12, BX
+	DECQ         CX
+	JNZ          inner16
+
+	VMAXPS  Y15, Y2, Y2 // clamp to [0, 1-2^-24]
+	VMINPS  Y11, Y2, Y2
+	VMAXPS  Y15, Y3, Y3
+	VMINPS  Y11, Y3, Y3
+	VMOVUPS Y2, (R11)
+	VMOVUPS Y3, 32(R11)
+	ADDQ    $64, R10
+	ADDQ    $64, R11
+	SUBQ    $16, R12
+	JMP     loop16
+
+loop8:
+	CMPQ    R12, $8
+	JL      done
+	VMOVUPS (R10), Y0
+	VSUBPS  Y12, Y0, Y0
+	VMULPS  Y13, Y0, Y0
+	VMOVAPS Y14, Y2
+	MOVQ    R8, BX
+	MOVQ    R9, CX
+
+inner8:
+	VBROADCASTSS (BX), Y8
+	VBROADCASTSS 4(BX), Y9
+	VBROADCASTSS 8(BX), Y10
+	VMULPS       Y8, Y0, Y4
+	VADDPS       Y9, Y4, Y4
+	VMAXPS       Y15, Y4, Y4
+	VMULPS       Y10, Y4, Y4
+	VADDPS       Y4, Y2, Y2
+	ADDQ         $12, BX
+	DECQ         CX
+	JNZ          inner8
+
+	VMAXPS  Y15, Y2, Y2
+	VMINPS  Y11, Y2, Y2
+	VMOVUPS Y2, (R11)
+	ADDQ    $32, R10
+	ADDQ    $32, R11
+	SUBQ    $8, R12
+	JMP     loop8
+
+done:
+	VZEROUPPER
+	RET

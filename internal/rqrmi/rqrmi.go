@@ -115,6 +115,16 @@ type Model struct {
 	// batched inference; nil when the hidden width is not uniform (batched
 	// lookups then fall back to the scalar path).
 	flat *flatStages
+	// flat32 is the single-precision parameter form of §4 consumed by the
+	// SIMD kernel; nil when flat is nil or a submodel's input span collapses
+	// under float32 (batched lookups then stay on the float64 path).
+	flat32 *flatStages32
+	// errs32[j] is the float32-path search bound for leaf j: the float64
+	// bound re-validated under float32 arithmetic at finalize time and
+	// widened where measurement demanded. Correctness does not rest on it —
+	// the batched search detects window overflow and falls back to the
+	// exact scalar path — so it is purely a performance parameter.
+	errs32 []int32
 	// vals mirrors the entry payloads in a flat slice so lookups touch 8
 	// bytes per candidate instead of a 24-byte Entry. SetValue keeps it in
 	// sync.
@@ -138,6 +148,10 @@ func (m *Model) coarseHit(key uint32) bool {
 // are in place.
 func (m *Model) finalize() {
 	m.flat = flattenStages(m.stages)
+	m.flat32 = flatten32(m.flat)
+	if m.flat32 != nil && len(m.entries) > 0 {
+		m.revalidateF32()
+	}
 	m.vals = make([]int, len(m.entries))
 	for i := range m.entries {
 		m.vals[i] = m.entries[i].Value
@@ -160,6 +174,45 @@ func (m *Model) finalize() {
 		}
 		for b := w1 << 6; b <= b1; b++ {
 			m.coarse[w1] |= 1 << (b & 63)
+		}
+	}
+}
+
+// revalidateF32 re-measures the per-leaf prediction error under float32
+// arithmetic. The trained bounds in errs are exact theorems about the
+// float64 pipeline; the float32 pipeline rounds differently, so its
+// predictions can land farther out. Probing every entry's boundary keys and
+// midpoint through the float32 router measures the drift where it is
+// largest (predictions are piecewise monotone between boundaries) and
+// widens any leaf whose measured error reaches its float64 bound. Residual
+// escapes — possible in principle for unprobed interior keys — are caught
+// at lookup time by the window-overflow check, which reroutes the key to
+// the exact scalar path, so the bounds here tune the fast path rather than
+// carry correctness.
+func (m *Model) revalidateF32() {
+	f := m.flat32
+	n := len(m.entries)
+	m.errs32 = make([]int32, len(m.errs))
+	copy(m.errs32, m.errs)
+	probe := func(key uint32, want int32) {
+		leaf, pred := f.route(key, m.widths, n)
+		d := pred - want
+		if d < 0 {
+			d = -d
+		}
+		// Widen with one entry of slack once measurement touches the bound:
+		// nearby unprobed keys can only be marginally worse, and the
+		// overflow fallback covers anything beyond.
+		if d >= m.errs32[leaf] {
+			m.errs32[leaf] = d + 1
+		}
+	}
+	for i := range m.entries {
+		lo, hi := m.los[i], m.his[i]
+		probe(lo, int32(i))
+		probe(hi, int32(i))
+		if mid := uint32((uint64(lo) + uint64(hi)) / 2); mid != lo && mid != hi {
+			probe(mid, int32(i))
 		}
 	}
 }
@@ -293,13 +346,19 @@ const maxGroupWidth = 512
 // sort over the previous stage's predictions): every submodel then evaluates
 // its keys with coefficients hoisted out of the key loop, which is the same
 // data-parallel amortization the paper's SIMD kernels exploit (Table 1).
-// Results are bit-identical to LookupEntry. out must have at least len(keys)
-// entries.
+// When the model carries a float32 parameter form, stages run through the
+// single-precision kernel of §4 (AVX2 assembly where available, see
+// batch32.go); otherwise this float64 form runs. Either way results are
+// bit-identical to LookupEntry. out must have at least len(keys) entries.
 func (m *Model) LookupEntryBatch(keys []uint32, out []int32) {
 	if len(m.entries) == 0 {
 		for i := range keys {
 			out[i] = -1
 		}
+		return
+	}
+	if m.flat32 != nil {
+		m.lookupEntryBatchF32(keys, out, kernelUseAsm.Load())
 		return
 	}
 	if m.flat == nil {

@@ -21,8 +21,40 @@ import (
 //	per submodel: hidden u32, inLo f64, inSpan f64, w1/b1/w2 f64..., b2 f64 |
 //	nEntries u32 | per entry: lo u32, hi u32, value i64 |
 //	errs i32...
+//
+// Version 2 ("RQRMI\x02") is identical except every submodel parameter is
+// stored as float32 — the paper's single-precision weight format (§4), and
+// lossless for models trained by this package because training rounds every
+// parameter to a float32-representable value before the bounds are proven.
+// WriteTo emits v2 exactly when that losslessness holds; legacy float64
+// models (deserialized v1 files with non-representable weights) keep the v1
+// encoding so their proven bounds survive the round-trip. ReadModel accepts
+// both.
 
 var magic = [6]byte{'R', 'Q', 'R', 'M', 'I', 1}
+var magicV2 = [6]byte{'R', 'Q', 'R', 'M', 'I', 2}
+
+// f32Exact reports whether v survives a float32 round-trip unchanged.
+func f32Exact(v float64) bool { return float64(float32(v)) == v }
+
+// paramsF32Exact reports whether every submodel parameter is exactly
+// float32-representable, i.e. whether the v2 encoding is lossless.
+func (m *Model) paramsF32Exact() bool {
+	for _, st := range m.stages {
+		for i := range st {
+			s := &st[i]
+			if !f32Exact(s.inLo) || !f32Exact(s.inSpan) || !f32Exact(s.b2) {
+				return false
+			}
+			for k := range s.w1 {
+				if !f32Exact(s.w1[k]) || !f32Exact(s.b1[k]) || !f32Exact(s.w2[k]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
 
 // WriteTo serializes the model. It implements io.WriterTo.
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
@@ -30,7 +62,12 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	cw := &countWriter{w: bw}
 	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
 
-	if err := write(magic); err != nil {
+	f32 := m.paramsF32Exact()
+	mg := magic
+	if f32 {
+		mg = magicV2
+	}
+	if err := write(mg); err != nil {
 		return cw.n, err
 	}
 	if err := write(uint32(len(m.stages))); err != nil {
@@ -47,8 +84,14 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 			if err := write(uint32(len(s.w1))); err != nil {
 				return cw.n, err
 			}
-			for _, v := range [][]float64{{s.inLo, s.inSpan}, s.w1, s.b1, s.w2, {s.b2}} {
-				if err := write(v); err != nil {
+			for _, grp := range [][]float64{{s.inLo, s.inSpan}, s.w1, s.b1, s.w2, {s.b2}} {
+				if f32 {
+					for _, v := range grp {
+						if err := write(float32(v)); err != nil {
+							return cw.n, err
+						}
+					}
+				} else if err := write(grp); err != nil {
 					return cw.n, err
 				}
 			}
@@ -83,8 +126,27 @@ func ReadModel(r io.Reader) (*Model, error) {
 	if err := read(&got); err != nil {
 		return nil, fmt.Errorf("rqrmi: reading magic: %w", err)
 	}
-	if got != magic {
+	var f32 bool
+	switch got {
+	case magic:
+	case magicV2:
+		f32 = true
+	default:
 		return nil, fmt.Errorf("rqrmi: bad magic %q", got[:])
+	}
+	// readF reads len(dst) parameters in the file's precision.
+	readF := func(dst []float64) error {
+		if !f32 {
+			return read(&dst)
+		}
+		buf := make([]float32, len(dst))
+		if err := read(&buf); err != nil {
+			return err
+		}
+		for i, v := range buf {
+			dst[i] = float64(v)
+		}
+		return nil
 	}
 	var nStages uint32
 	if err := read(&nStages); err != nil {
@@ -131,7 +193,7 @@ func ReadModel(r io.Reader) (*Model, error) {
 				w2: make([]float64, hidden),
 			}
 			var norm [2]float64
-			if err := read(&norm); err != nil {
+			if err := readF(norm[:]); err != nil {
 				return nil, err
 			}
 			s.inLo, s.inSpan = norm[0], norm[1]
@@ -139,13 +201,15 @@ func ReadModel(r io.Reader) (*Model, error) {
 				return nil, fmt.Errorf("rqrmi: invalid input span %v", s.inSpan)
 			}
 			for _, dst := range [][]float64{s.w1, s.b1, s.w2} {
-				if err := read(&dst); err != nil {
+				if err := readF(dst); err != nil {
 					return nil, err
 				}
 			}
-			if err := read(&s.b2); err != nil {
+			var b2 [1]float64
+			if err := readF(b2[:]); err != nil {
 				return nil, err
 			}
+			s.b2 = b2[0]
 			m.stages[si] = append(m.stages[si], s)
 		}
 	}

@@ -51,6 +51,60 @@ func TestSerializeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSerializeVersionSelection pins the codec's version choice: trained
+// models carry float32-rounded parameters, so they must take the compact v2
+// encoding losslessly; a legacy model with float64-only weights must stay on
+// v1 so its proven bounds survive the round-trip bit for bit.
+func TestSerializeVersionSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m, _, err := Train(genEntries(rng, 200, 1<<22, 1<<18), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v := buf.Bytes()[5]; v != 2 {
+		t.Fatalf("trained model serialized as v%d, want v2 (float32)", v)
+	}
+
+	// Hand-built model with a weight float32 cannot represent.
+	legacy := &Model{
+		stages: [][]submodel{{{
+			w1: []float64{1.0 / 3}, b1: []float64{0}, w2: []float64{1},
+			b2: 0, inLo: 0, inSpan: 1,
+		}}},
+		widths:  []int{1},
+		entries: []Entry{{Range: rules.Range{Lo: 10, Hi: 20}, Value: 7}},
+		los:     []uint32{10}, his: []uint32{20},
+		errs: []int32{1}, maxErr: 1,
+	}
+	legacy.finalize()
+	var lbuf bytes.Buffer
+	if _, err := legacy.WriteTo(&lbuf); err != nil {
+		t.Fatal(err)
+	}
+	if v := lbuf.Bytes()[5]; v != 1 {
+		t.Fatalf("legacy float64 model serialized as v%d, want v1", v)
+	}
+	back, err := ReadModel(&lbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := back.Lookup(15); !ok || v != 7 {
+		t.Fatalf("legacy round-trip Lookup(15) = (%d,%v), want (7,true)", v, ok)
+	}
+	// Re-encoding the reloaded legacy model must stay v1 (weights unchanged).
+	var rbuf bytes.Buffer
+	if _, err := back.WriteTo(&rbuf); err != nil {
+		t.Fatal(err)
+	}
+	if v := rbuf.Bytes()[5]; v != 1 {
+		t.Fatalf("legacy model re-serialized as v%d, want v1", v)
+	}
+}
+
 func TestSerializeEmptyModel(t *testing.T) {
 	m, _, err := Train(nil, smallConfig())
 	if err != nil {

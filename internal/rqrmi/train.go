@@ -150,10 +150,12 @@ func (t *trainer) trainSubmodel(stage, idx int, resp []kinterval, isLeaf bool) (
 		// placeholder with a zero bound.
 		rng := rand.New(rand.NewSource(t.seed(stage, idx, 0)))
 		net := nn.New(t.cfg.Hidden, rng)
-		return submodel{
+		sub := submodel{
 			w1: net.W1, b1: net.B1, w2: net.W2, b2: net.B2,
 			inLo: 0, inSpan: 1,
-		}, 0, 0, 0
+		}
+		sub.roundParamsF32()
+		return sub, 0, 0, 0
 	}
 
 	overlap := t.overlapCount(resp)
@@ -179,6 +181,13 @@ func (t *trainer) trainSubmodel(stage, idx int, resp []kinterval, isLeaf bool) (
 	if inSpan <= 0 {
 		inSpan = scale
 	}
+	// Snap the normalization scalars to float32-representable values before
+	// generating samples: the single-precision kernel (§4) stores parameters
+	// in float32, and training in the exact affine space inference evaluates
+	// keeps the fit, the error analysis and the kernel aligned. scale itself
+	// is a power of two, so the fallback span survives the rounding.
+	inLo = float64(float32(inLo))
+	inSpan = float64(float32(inSpan))
 
 	var best submodel
 	var bestErr int32 = -1
@@ -213,6 +222,12 @@ func (t *trainer) trainSubmodel(stage, idx int, resp []kinterval, isLeaf bool) (
 			w1: net.W1, b1: net.B1, w2: net.W2, b2: net.B2,
 			inLo: inLo, inSpan: inSpan,
 		}
+		// Round the trained weights to float32-representable values BEFORE
+		// computing responsibilities (propagate) and error bounds
+		// (leafMaxError): the analysis then proves its theorems about
+		// exactly the parameter values the float32 kernel loads, and
+		// serializing the model in single precision is lossless.
+		cand.roundParamsF32()
 		if !isLeaf {
 			return cand, 0, 0, samples
 		}
@@ -238,6 +253,20 @@ func (t *trainer) trainSubmodel(stage, idx int, resp []kinterval, isLeaf bool) (
 		stored = lim
 	}
 	return best, stored, retrains, samples
+}
+
+// roundParamsF32 rounds every parameter to its nearest float32 value (still
+// stored as float64). Applied before any bound or responsibility analysis,
+// so float64-proven results hold verbatim for the float32 parameter form.
+func (s *submodel) roundParamsF32() {
+	for i := range s.w1 {
+		s.w1[i] = float64(float32(s.w1[i]))
+		s.b1[i] = float64(float32(s.b1[i]))
+		s.w2[i] = float64(float32(s.w2[i]))
+	}
+	s.b2 = float64(float32(s.b2))
+	s.inLo = float64(float32(s.inLo))
+	s.inSpan = float64(float32(s.inSpan))
 }
 
 // seed derives a deterministic per-(stage, submodel, attempt) RNG seed.

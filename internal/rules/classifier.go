@@ -74,6 +74,18 @@ type FrozenClassifier interface {
 	LookupBatch(pkts []Packet, bounds []int32, skip []int, out []int)
 }
 
+// BatchPrefetcher is optionally implemented by a FrozenClassifier whose
+// probe path is dominated by cache misses on large hash arrays. The batched
+// engine calls PrefetchBatch for a chunk of packets BEFORE running RQ-RMI
+// inference on that chunk, so the memory system pulls the classifier's
+// bucket lines toward L1 underneath the inference arithmetic and the
+// subsequent LookupBatch probes hit warm cache. Implementations must not
+// allocate, must be safe for unsynchronized concurrent use, and must treat
+// the call as a pure hint (correctness never depends on it).
+type BatchPrefetcher interface {
+	PrefetchBatch(pkts []Packet)
+}
+
 // Freezable is implemented by updatable classifiers that can compile their
 // current contents into a FrozenClassifier. NuevoMatch freezes its
 // remainder into each published snapshot so the steady-state lookup path

@@ -145,6 +145,22 @@ func NewAutopilot(e *Engine, policy AutopilotPolicy) *Autopilot {
 // same table has not finished yet.
 var ErrRetrainInProgress = core.ErrRetrainInProgress
 
+// SetKernelMode selects the RQ-RMI batched-inference kernel process-wide:
+// "auto" (AVX2 assembly when the build and host support it, the default),
+// "go" (the portable pure-Go float32 kernel), or "asm" (AVX2 required —
+// errors when unavailable). The kernels are bit-identical, so switching
+// never changes classification results, only throughput; the override
+// exists for benchmarking ablations and for pinning CI measurements.
+func SetKernelMode(mode string) error { return rqrmi.SetKernelMode(mode) }
+
+// KernelName reports the active RQ-RMI batched-inference kernel: "avx2" or
+// "go-f32".
+func KernelName() string { return rqrmi.KernelName() }
+
+// HasAsmKernel reports whether the AVX2 assembly kernel can run on this
+// build and host.
+func HasAsmKernel() bool { return rqrmi.HasAsmKernel() }
+
 // RegisterRemainder makes a remainder builder resolvable by classifier name
 // when a saved table is loaded: Save records the remainder's Name(), and
 // Load rebuilds the remainder through this registry (WithRemainder
