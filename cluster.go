@@ -140,6 +140,24 @@ func finishCluster(cc *core.Cluster, c clusterConfig) *Cluster {
 					return nil
 				}
 			}
+			// Self-healing wiring: consecutive retrain failures on one shard
+			// quarantine it (the shard keeps serving its last snapshot while a
+			// background rebuilder retries), and a success clears the count.
+			userFail := policy.AfterFailure
+			policy.AfterFailure = func(err error) {
+				cc.NoteRetrainFailure(s, err)
+				if userFail != nil {
+					userFail(err)
+				}
+			}
+			userOK := policy.AfterRetrain
+			policy.AfterRetrain = func(st RetrainStats) error {
+				cc.NoteRetrainSuccess(s)
+				if userOK != nil {
+					return userOK(st)
+				}
+				return nil
+			}
 			cl.aps[s] = core.NewAutopilot(cc.ShardEngine(s), policy)
 			cl.aps[s].Start()
 		}
@@ -169,13 +187,19 @@ func OpenCluster(rs *RuleSet, opts ...ClusterOption) (*Cluster, error) {
 	return finishCluster(cc, c), nil
 }
 
-// LoadCluster reconstructs a cluster saved by SaveDir: the manifest
-// restores the routing function and each shard loads through the table
-// codec (checksums verified, zero retraining). The loader re-verifies that
+// LoadCluster reconstructs a cluster saved by SaveDir from its CURRENT
+// generation (legacy flat directories still load): the manifest restores
+// the routing function and each shard loads through the table codec
+// (checksums verified, zero retraining). The loader re-verifies that
 // every rule lives in exactly the shards the partitioner routes it to, so
 // a mismatched manifest/shard combination fails loudly instead of
-// misrouting packets. WithShardOptions(WithRemainder(...)) overrides the
-// recorded remainder builder as in Load.
+// misrouting packets. A shard artifact that fails its checksum does not
+// fail the load when the generation's rules artifact is intact: the shard
+// comes up quarantined on a correct remainder-only fallback built from its
+// rule replica, serves immediately, and is retrained back to full speed in
+// the background (see Cluster.Health / QuarantinedShards).
+// WithShardOptions(WithRemainder(...)) overrides the recorded remainder
+// builder as in Load.
 func LoadCluster(dir string, opts ...ClusterOption) (*Cluster, error) {
 	c, tc, err := applyClusterOptions(opts)
 	if err != nil {
@@ -188,10 +212,15 @@ func LoadCluster(dir string, opts ...ClusterOption) (*Cluster, error) {
 	return finishCluster(cc, c), nil
 }
 
-// SaveDir persists the whole cluster into dir: one table artifact per shard
-// plus the cluster manifest, each written atomically and the manifest last,
-// so a crash mid-save never leaves a half-readable cluster. Safe to call
-// concurrently with lookups; updates serialize with it.
+// SaveDir persists the whole cluster into dir, crash-safely: a new
+// generation directory (gen-NNNNNNNN) is staged with one table artifact
+// per shard, a rules artifact, and the manifest — every file fsynced —
+// then atomically renamed into place and published by flipping the CURRENT
+// pointer, with the directory fsynced around the rename. The previous
+// generation is kept as the rollback target; a crash at any byte of the
+// save leaves CURRENT on the last-good generation (FsckCluster verifies
+// and repairs). Safe to call concurrently with lookups; updates serialize
+// with it.
 func (c *Cluster) SaveDir(dir string) error {
 	if c.closed.Load() {
 		return ErrClosed
@@ -274,7 +303,7 @@ func (c *Cluster) ShardAutopilot(s int) *Autopilot {
 // worst/most recent values. Zero when no autopilot is attached.
 func (c *Cluster) AutopilotStats() AutopilotStats {
 	var agg AutopilotStats
-	for _, ap := range c.aps {
+	for s, ap := range c.aps {
 		st := ap.Stats()
 		agg.Checks += st.Checks
 		agg.Retrains += st.Retrains
@@ -290,11 +319,14 @@ func (c *Cluster) AutopilotStats() AutopilotStats {
 			agg.LastTrain = st.LastTrain
 			agg.LastSwap = st.LastSwap
 		}
+		// Prefix the originating shard: the aggregate keeps only the most
+		// recent error string, and without attribution a multi-shard
+		// cluster's "last error" is undebuggable.
 		if st.LastError != "" {
-			agg.LastError = st.LastError
+			agg.LastError = fmt.Sprintf("shard %d: %s", s, st.LastError)
 		}
 		if st.LastPersistError != "" {
-			agg.LastPersistError = st.LastPersistError
+			agg.LastPersistError = fmt.Sprintf("shard %d: %s", s, st.LastPersistError)
 		}
 	}
 	return agg
@@ -303,6 +335,39 @@ func (c *Cluster) AutopilotStats() AutopilotStats {
 // Stats reports the cluster's current shape: shard count, routing function,
 // per-shard rule counts, and how many rules replication duplicated.
 func (c *Cluster) Stats() ClusterStats { return c.cc.Stats() }
+
+// Health reports the cluster's serving condition: Failed when closed,
+// Degraded while any shard is quarantined (serving its correct fallback
+// while a background rebuilder retries) or any shard's autopilot is
+// accumulating retrain or persist failures, Healthy otherwise. The
+// fail-static guarantee holds in every state short of Failed: lookups are
+// never wrong, only possibly stale or slower.
+func (c *Cluster) Health() Health {
+	if c.closed.Load() {
+		return Health{State: Failed, Reasons: []HealthReason{{Shard: -1, Code: "closed", Detail: "cluster closed"}}}
+	}
+	h := c.cc.Health()
+	for s, ap := range c.aps {
+		eh := core.EngineHealth(ap.Stats())
+		for _, r := range eh.Reasons {
+			r.Shard = s
+			h.Reasons = append(h.Reasons, r)
+		}
+	}
+	if len(h.Reasons) > 0 && h.State == Healthy {
+		h.State = Degraded
+	}
+	return h
+}
+
+// QuarantinedShards lists the shards currently isolated behind their
+// fallback (sorted). Empty on a healthy cluster.
+func (c *Cluster) QuarantinedShards() []int { return c.cc.QuarantinedShards() }
+
+// SetQuarantinePolicy replaces the cluster's shard-quarantine policy (zero
+// fields take the documented defaults: 3 consecutive retrain failures to
+// quarantine, 50ms base rebuild backoff doubling to a 5s cap).
+func (c *Cluster) SetQuarantinePolicy(p QuarantinePolicy) { c.cc.SetQuarantinePolicy(p) }
 
 // Name implements Classifier.
 func (c *Cluster) Name() string { return "nuevomatch-cluster" }
@@ -324,6 +389,27 @@ func (c *Cluster) Close() error {
 	}
 	c.cc.Close()
 	return nil
+}
+
+// FsckCluster verifies a cluster directory saved by SaveDir and, with
+// repair set, restores it to a loadable state: CURRENT is pointed at the
+// newest fully intact generation (rolling forward to a complete save whose
+// pointer flip was lost, or back to the last-good generation when the
+// newest is torn), and torn staging directories plus broken generations are
+// swept. Verification covers the manifest, every shard artifact's checksum
+// and full decode, the rules artifact, and the cross-shard replication
+// invariant. Without repair it only reports.
+func FsckCluster(dir string, repair bool) (*FsckReport, error) {
+	return core.FsckClusterDir(dir, repair)
+}
+
+// ClusterCurrentDir resolves the generation directory a saved cluster
+// currently serves from: the one named by dir's CURRENT pointer, or dir
+// itself for a legacy flat layout. Tools that inspect the saved artifacts
+// (manifest, shard files) should resolve through this rather than assume a
+// layout.
+func ClusterCurrentDir(dir string) (string, error) {
+	return core.ClusterCurrentDir(dir)
 }
 
 var _ Classifier = (*Cluster)(nil)

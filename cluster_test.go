@@ -4,10 +4,13 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"nuevomatch"
 	"nuevomatch/internal/classbench"
+	"nuevomatch/internal/faultinject"
 	"nuevomatch/internal/rqrmi"
 )
 
@@ -268,9 +271,18 @@ func TestClusterAutopilotPersist(t *testing.T) {
 
 	// Wait until the shard files on disk settle (persist runs on the
 	// retraining goroutine, synchronously within Check, so they already
-	// have) and reload.
-	if _, err := os.Stat(filepath.Join(dir, "cluster.json")); err != nil {
+	// have) and reload from the current generation.
+	gdir, err := nuevomatch.ClusterCurrentDir(dir)
+	if err != nil {
+		t.Fatalf("resolving persisted generation: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(gdir, "cluster.json")); err != nil {
 		t.Fatalf("manifest missing after persist: %v", err)
+	}
+	if rep, err := nuevomatch.FsckCluster(dir, false); err != nil {
+		t.Fatalf("fsck after persist: %v", err)
+	} else if !rep.Healthy() {
+		t.Fatalf("fsck reports persisted dir unhealthy: %+v", rep)
 	}
 	loaded, err := nuevomatch.LoadCluster(dir)
 	if err != nil {
@@ -281,5 +293,127 @@ func TestClusterAutopilotPersist(t *testing.T) {
 		if got, want := loaded.Lookup(p), mirror.MatchID(p); got != want {
 			t.Fatalf("persisted cluster Lookup(%v) = %d, want %d", p, got, want)
 		}
+	}
+}
+
+// TestClusterHealthQuarantine exercises the public health surface end to
+// end: supervised retrain failures degrade the cluster (with per-shard
+// attribution in the aggregated stats), crossing the quarantine threshold
+// isolates the shard while lookups stay correct (fail-static), and the
+// background rebuilder plus one clean supervised retrain return the
+// cluster to Healthy.
+func TestClusterHealthQuarantine(t *testing.T) {
+	defer faultinject.Reset()
+	prof, err := classbench.ProfileByName("ipc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := classbench.Generate(prof, 200)
+	uniquePriorities(rs)
+	cluster, err := nuevomatch.OpenCluster(rs.Clone(), append(fastShardOpts2(),
+		nuevomatch.WithShards(2),
+		nuevomatch.WithClusterAutopilot(nuevomatch.AutopilotPolicy{
+			MaxUpdates:   1, // any journaled update arms the next Check
+			MinLiveRules: 1,
+			Interval:     -1, // Check-driven
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if h := cluster.Health(); h.State != nuevomatch.Healthy {
+		t.Fatalf("fresh cluster health = %v", h)
+	}
+	cluster.SetQuarantinePolicy(nuevomatch.QuarantinePolicy{
+		FailureThreshold: 2,
+		BaseBackoff:      2 * time.Millisecond,
+		MaxBackoff:       20 * time.Millisecond,
+	})
+
+	mirror := rs.Clone()
+	addWildcard := func(id int) {
+		t.Helper()
+		r := nuevomatch.Rule{ID: id, Priority: int32(10_000 + id%1000),
+			Fields: fullFields(rs.NumFields)}
+		if err := cluster.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+		mirror.Add(r)
+	}
+	verify := func(stage string) {
+		t.Helper()
+		rng := rand.New(rand.NewSource(77))
+		for _, p := range probePackets(rng, mirror, 300) {
+			if got, want := cluster.Lookup(p), mirror.MatchID(p); got != want {
+				t.Fatalf("%s: Lookup = %d, want %d", stage, got, want)
+			}
+		}
+	}
+
+	// Two supervised retrain failures on shard 0 cross the threshold.
+	addWildcard(9_000_001) // wildcard: replicates into every shard's journal
+	faultinject.Enable("core.retrain.build", faultinject.Rule{FailCount: 3})
+	if _, err := cluster.ShardAutopilot(0).Check(); err == nil {
+		t.Fatal("first supervised retrain did not fail under fault")
+	}
+	if st := cluster.AutopilotStats(); !strings.HasPrefix(st.LastError, "shard 0:") {
+		t.Fatalf("aggregated LastError lacks shard attribution: %q", st.LastError)
+	}
+	if h := cluster.Health(); h.State != nuevomatch.Degraded {
+		t.Fatalf("health after one failure = %v", h)
+	}
+	if q := cluster.QuarantinedShards(); len(q) != 0 {
+		t.Fatalf("quarantined below threshold: %v", q)
+	}
+	if _, err := cluster.ShardAutopilot(0).Check(); err == nil {
+		t.Fatal("second supervised retrain did not fail under fault")
+	}
+	if q := cluster.QuarantinedShards(); len(q) != 1 || q[0] != 0 {
+		t.Fatalf("QuarantinedShards = %v, want [0]", q)
+	}
+	h := cluster.Health()
+	if h.State != nuevomatch.Degraded {
+		t.Fatalf("health under quarantine = %v", h)
+	}
+	seen := false
+	for _, r := range h.Reasons {
+		if r.Code == "shard-quarantined" && r.Shard == 0 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("no shard-quarantined reason in %v", h)
+	}
+	verify("quarantined") // fail-static: the isolated shard still serves
+
+	// The rebuilder eats the last scheduled fault, then succeeds.
+	faultinject.Reset()
+	deadline := time.Now().Add(15 * time.Second)
+	for len(cluster.QuarantinedShards()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("quarantine never cleared: health %v", cluster.Health())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// One clean supervised retrain clears the shard's failure streak.
+	addWildcard(9_000_002)
+	for {
+		if ran, err := cluster.ShardAutopilot(0).Check(); err == nil && ran {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("supervised retrain never succeeded: health %v", cluster.Health())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if h := cluster.Health(); h.State != nuevomatch.Healthy {
+		t.Fatalf("health after recovery = %v", h)
+	}
+	verify("recovered")
+
+	cluster.Close()
+	if h := cluster.Health(); h.State != nuevomatch.Failed {
+		t.Fatalf("closed cluster health = %v", h)
 	}
 }

@@ -123,6 +123,9 @@ func main() {
 				fmt.Printf("    shard %02d       %6d rules  %6d trace pkts  %12.0f pps batch\n",
 					s, sp.Rules, sp.TracePackets, sp.ThroughputPPS)
 			}
+			if c.Health != "" && c.Health != "healthy" {
+				fmt.Printf("    health         %s (%d reasons)\n", c.Health, len(c.HealthReasons))
+			}
 		}
 		if a.BatchMismatches != 0 {
 			fmt.Fprintf(os.Stderr, "benchrunner: batched path disagreed with scalar path on %d/%d packets\n",

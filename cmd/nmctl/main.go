@@ -11,6 +11,7 @@
 //	nmctl serve -load table.nm -churn 50000 -persist table.nm
 //	nmctl serve -load cluster.d -bench                # warm start a whole cluster
 //	nmctl serve -load cluster.d -churn 50000 -persist cluster.d
+//	nmctl fsck -repair cluster.d                      # verify/repair a saved cluster
 //	nmctl -gen acl1 -size 10000 -bench                # legacy combined mode
 //
 // With -shards N (N > 1) build trains a sharded nuevomatch.Cluster —
@@ -56,6 +57,9 @@ func main() {
 			return
 		case "serve":
 			cmdServe(os.Args[2:])
+			return
+		case "fsck":
+			cmdFsck(os.Args[2:])
 			return
 		}
 	}
@@ -270,15 +274,71 @@ func cmdServe(args []string) {
 }
 
 // clusterDir reports whether path names a saved cluster: the directory
-// itself or its manifest file.
+// itself, its manifest file, its CURRENT generation pointer, or a
+// generation directory inside it (gen-NNNNNNNN — the parent is the
+// cluster).
 func clusterDir(path string) (string, bool) {
-	if filepath.Base(path) == "cluster.json" {
-		return filepath.Dir(path), true
+	switch filepath.Base(path) {
+	case "cluster.json", "CURRENT":
+		path = filepath.Dir(path)
+	}
+	if strings.HasPrefix(filepath.Base(path), "gen-") {
+		if _, err := os.Stat(filepath.Join(filepath.Dir(path), "CURRENT")); err == nil {
+			path = filepath.Dir(path)
+		}
 	}
 	if info, err := os.Stat(path); err == nil && info.IsDir() {
 		return path, true
 	}
 	return "", false
+}
+
+// cmdFsck verifies a saved cluster directory (every generation's manifest,
+// shard checksums, rules artifact, and replication invariant) and with
+// -repair restores it to a loadable last-good state.
+func cmdFsck(args []string) {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	repair := fs.Bool("repair", false, "repair: point CURRENT at the newest intact generation and sweep torn or broken ones")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("usage: nmctl fsck [-repair] cluster.d"))
+	}
+	dir, ok := clusterDir(fs.Arg(0))
+	if !ok {
+		fatal(fmt.Errorf("%s is not a cluster directory", fs.Arg(0)))
+	}
+	rep, err := nuevomatch.FsckCluster(dir, *repair)
+	if rep != nil {
+		for _, g := range rep.Generations {
+			verdict := "intact"
+			if !g.Intact {
+				verdict = "BROKEN"
+			}
+			fmt.Printf("generation %s: %s (%d shards)\n", g.Name, verdict, g.Shards)
+			for _, p := range g.Problems {
+				fmt.Printf("  problem: %s\n", p)
+			}
+		}
+		if rep.RepairedCurrent {
+			fmt.Printf("repaired CURRENT: %s -> %s\n", rep.CurrentBefore, rep.CurrentAfter)
+		}
+		for _, name := range rep.Removed {
+			fmt.Printf("removed: %s\n", name)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Healthy() {
+		fmt.Printf("%s: healthy (serving %s)\n", dir, rep.CurrentAfter)
+		return
+	}
+	if *repair {
+		fmt.Printf("%s: repaired (serving %s)\n", dir, rep.CurrentAfter)
+		return
+	}
+	fmt.Printf("%s: needs repair (run nmctl fsck -repair)\n", dir)
+	os.Exit(1)
 }
 
 // serveCluster is cmdServe for a sharded cluster: warm-load the whole
@@ -307,6 +367,9 @@ func serveCluster(dir, tracePath string, bench bool, churn, maxUpd int, maxFrac 
 	fmt.Printf("loaded cluster %s in %v (training skipped on all %d shards)\n",
 		dir, time.Since(start).Round(time.Millisecond), cluster.NumShards())
 	printClusterStats(cluster)
+	if h := cluster.Health(); h.State != nuevomatch.Healthy {
+		fmt.Printf("health: %s\n", h)
+	}
 
 	rs := cluster.LiveRuleSet()
 	if churn > 0 {
@@ -481,6 +544,7 @@ func runClusterChurn(c *nuevomatch.Cluster, rs *rules.RuleSet, ops int, seed int
 		fmt.Printf("autopilots: %d persist failures (last: %s)\n", st.PersistFailures, st.LastPersistError)
 	}
 	fmt.Printf("final: live %d rules, per shard %v, %d replicated\n", cst.LiveRules, cst.ShardRules, cst.Replicated)
+	fmt.Printf("health: %s\n", c.Health())
 	finishChurn(ops, n, verify)
 }
 
@@ -593,6 +657,7 @@ func runChurn(t *nuevomatch.Table, rs *rules.RuleSet, ops int, seed int64, verif
 		fmt.Printf("autopilot: %d persist failures (last: %s)\n", st.PersistFailures, st.LastPersistError)
 	}
 	fmt.Printf("final: live %d rules, remainder fraction %.2f\n", us.LiveRules, us.RemainderFraction)
+	fmt.Printf("health: %s\n", t.Health())
 	finishChurn(ops, n, verify)
 }
 

@@ -210,15 +210,19 @@ func runChurnProfile(cfg ChurnConfig, name string, seed int64) (*ChurnProfileRes
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		i := 0
-		for !stopProbe.Load() {
+		// Check-after-probe so at least one sample lands even when a
+		// single-CPU scheduler never runs this goroutine until the churn
+		// loop has already finished and raised stopProbe.
+		for i := 0; ; i++ {
 			p := tr.Packets[i%len(tr.Packets)]
 			t0 := time.Now()
 			e.Lookup(p)
 			if i%4 == 0 && len(probeSamples) < 1<<20 {
 				probeSamples = append(probeSamples, float64(time.Since(t0).Nanoseconds()))
 			}
-			i++
+			if stopProbe.Load() {
+				return
+			}
 		}
 	}()
 

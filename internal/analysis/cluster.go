@@ -46,6 +46,13 @@ type ClusterReport struct {
 	// against the linear reference over the trace.
 	VerifiedPackets int `json:"verified_packets"`
 	Mismatches      int `json:"mismatches"`
+	// Health is the cluster's serving condition at measurement end
+	// ("healthy" unless a shard was quarantined or retrains failed mid-run,
+	// which would make the throughput numbers suspect).
+	Health string `json:"health"`
+	// HealthReasons carries the machine-readable degradation signals when
+	// Health is not "healthy".
+	HealthReasons []core.HealthReason `json:"health_reasons,omitempty"`
 }
 
 // ClusterShardPath is one shard measured in isolation.
@@ -143,6 +150,9 @@ func RunClusterBench(profileName string, size, shards, traceLen int, seed int64,
 		}
 		rep.PerShard = append(rep.PerShard, sp)
 	}
+	h := c.Health()
+	rep.Health = h.State.String()
+	rep.HealthReasons = h.Reasons
 	return rep, nil
 }
 

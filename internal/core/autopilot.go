@@ -11,7 +11,10 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -45,9 +48,19 @@ type AutopilotPolicy struct {
 	// persistence hook: a supervised service saves the retrained engine
 	// (Engine.WriteTo) so a restart warm-starts from the retrained state
 	// instead of the stale artifact it booted from. A hook error does not
-	// undo the retrain (the swap already published); it is recorded in
+	// undo the retrain (the swap already published); it is retried up to
+	// PersistRetries times with exponential backoff, then recorded in
 	// AutopilotStats.PersistFailures/LastPersistError.
 	AfterRetrain func(RetrainStats) error
+	// AfterFailure, when non-nil, runs after every failed retrain attempt,
+	// outside the autopilot's lock, with the retrain error. A cluster wires
+	// this to its quarantine tracker so repeatedly failing shards are
+	// isolated and rebuilt.
+	AfterFailure func(error)
+	// PersistRetries is how many times a failing AfterRetrain hook is
+	// retried (with exponential backoff) before the failure is recorded.
+	// Zero means 2; negative disables retries.
+	PersistRetries int
 }
 
 // withDefaults resolves the zero values.
@@ -67,19 +80,40 @@ func (p AutopilotPolicy) withDefaults() AutopilotPolicy {
 	if p.Interval == 0 {
 		p.Interval = 250 * time.Millisecond
 	}
+	if p.PersistRetries == 0 {
+		p.PersistRetries = 2
+	}
+	if p.PersistRetries < 0 {
+		p.PersistRetries = 0
+	}
 	return p
 }
 
-// fracHysteresis is how far the remainder fraction must decay past the
-// best a (re)build achieved before the coverage trigger re-arms. Without
-// it, a ceiling below what training can reach on the rule-set (possible on
-// wildcard-heavy profiles) would trip on every poll and retrain in a loop.
+// fracHysteresis is the default margin the remainder fraction must decay
+// past the best a (re)build achieved before the coverage trigger re-arms.
+// Without a margin, a ceiling below what training can reach on the
+// rule-set (possible on wildcard-heavy profiles) would trip on every poll
+// and retrain in a loop. Once an autopilot has retrain history the margin
+// adapts to the achieved-fraction variance (see hystMarginLocked); this
+// constant is the cold-start value.
 const fracHysteresis = 0.05
+
+// The adaptive hysteresis margin is clamped to [fracMarginMin,
+// fracMarginMax]: large stable rule-sets (low variance) trigger earlier,
+// noisy wildcard-heavy ones (high variance) are damped harder, and neither
+// extreme can disable the trigger or let build noise thrash it.
+const (
+	fracMarginMin   = 0.01
+	fracMarginMax   = 0.10
+	fracHistWindow  = 8 // retrains remembered for the variance estimate
+	fracMarginSigma = 2 // margin = sigma × stddev of achieved fractions
+)
 
 // evaluate reports whether the drift in st trips the policy, and why.
 // baseFrac is the remainder fraction right after the last (re)build — the
-// best the current rule-set trains to — used to damp the coverage trigger.
-func (p AutopilotPolicy) evaluate(st UpdateStats, baseFrac float64) (string, bool) {
+// best the current rule-set trains to — and margin is how far past it the
+// fraction must decay before the coverage trigger re-arms.
+func (p AutopilotPolicy) evaluate(st UpdateStats, baseFrac, margin float64) (string, bool) {
 	if p.MinLiveRules > 0 && st.LiveRules < p.MinLiveRules {
 		return "", false
 	}
@@ -88,7 +122,7 @@ func (p AutopilotPolicy) evaluate(st UpdateStats, baseFrac float64) (string, boo
 		return fmt.Sprintf("updates %d >= %d", updates, p.MaxUpdates), true
 	}
 	if p.MaxRemainderFraction > 0 && st.RemainderFraction > p.MaxRemainderFraction &&
-		st.RemainderFraction >= baseFrac+fracHysteresis {
+		st.RemainderFraction >= baseFrac+margin {
 		return fmt.Sprintf("remainder fraction %.2f > %.2f", st.RemainderFraction, p.MaxRemainderFraction), true
 	}
 	if p.MaxOverlayCompactions > 0 && st.OverlayCompactions >= p.MaxOverlayCompactions {
@@ -112,10 +146,22 @@ type AutopilotStats struct {
 	LastTrigger string
 	// LastError is the message of the last failed retrain, if any.
 	LastError string
-	// PersistFailures counts AfterRetrain hook errors; LastPersistError is
-	// the most recent one. The retrains themselves still count as successes.
+	// PersistFailures counts AfterRetrain hook invocations that exhausted
+	// their retries; LastPersistError is the most recent final error. The
+	// retrains themselves still count as successes. PersistRetries counts
+	// individual retry attempts (successful or not) beyond each first try.
 	PersistFailures  int
 	LastPersistError string
+	PersistRetries   int
+	// ConsecFailures is the current run of consecutive failed retrains
+	// (reset to zero by a success); ConsecPersistFailures likewise for the
+	// persistence hook. Both feed the health model: a nonzero run means
+	// the component is degraded, a long run that it may be failed.
+	ConsecFailures        int
+	ConsecPersistFailures int
+	// LastBackoff is the retry pause chosen after the most recent failed
+	// retrain — exponential in ConsecFailures with ±20% jitter.
+	LastBackoff time.Duration
 	// LastTrain/LastSwap are the durations of the most recent retrain's
 	// training and swap phases; MaxSwap and TotalTrain aggregate them.
 	LastTrain  time.Duration
@@ -136,26 +182,39 @@ type Autopilot struct {
 	mu       sync.Mutex
 	stats    AutopilotStats
 	lastSwap time.Time
-	// lastFail backs off watcher-driven retries after a failed retrain: the
-	// drift counters stay tripped on failure, and without a pause the
-	// watcher would relaunch a doomed full training run every poll.
-	lastFail time.Time
+	// backoffUntil suppresses watcher-driven retries after a failed
+	// retrain: the drift counters stay tripped on failure, and without a
+	// pause the watcher would relaunch a doomed full training run every
+	// poll. The pause grows exponentially with consecutive failures and is
+	// jittered so a fleet of shards does not retry in lockstep.
+	backoffUntil time.Time
 	// baseFrac is the remainder fraction right after the last (re)build,
 	// the hysteresis floor of the coverage trigger.
 	baseFrac float64
-	busy     bool // a retrain is in flight (Check is re-entrant safe)
+	// fracHist is a ring of the remainder fractions achieved by recent
+	// (re)builds; its variance sets the adaptive hysteresis margin.
+	fracHist []float64
+	rng      *rand.Rand // jitter source, seeded deterministically per autopilot
+	busy     bool       // a retrain is in flight (Check is re-entrant safe)
 	stop     chan struct{}
 	done     chan struct{}
 }
+
+// autopilotSeq decorrelates the jitter RNGs of autopilots created in one
+// process while keeping each run of the process deterministic.
+var autopilotSeq atomic.Int64
 
 // NewAutopilot wraps a built engine with a drift supervisor. The watcher is
 // not started; call Start, or drive Check manually for deterministic
 // control.
 func NewAutopilot(e *Engine, policy AutopilotPolicy) *Autopilot {
+	base := e.Updates().RemainderFraction
 	return &Autopilot{
 		e:        e,
 		policy:   policy.withDefaults(),
-		baseFrac: e.Updates().RemainderFraction,
+		baseFrac: base,
+		fracHist: []float64{base},
+		rng:      rand.New(rand.NewSource(0x9E3779B9*autopilotSeq.Add(1) + 1)),
 	}
 }
 
@@ -202,20 +261,67 @@ func (ap *Autopilot) Stop() {
 	<-done
 }
 
-// failureBackoff is the minimum pause between retrain attempts after a
-// failure: the larger of MinInterval and 30 poll intervals, so a
-// persistently failing build costs one attempt every few seconds instead
-// of one per poll. With the watcher disabled (Interval < 0) there is no
-// backoff — every Check is an explicit caller decision.
-func (ap *Autopilot) failureBackoff() time.Duration {
+// failureBackoff is the pause before the next retrain attempt after the
+// n-th consecutive failure: exponential from 4 poll intervals up to 240,
+// floored by MinInterval and jittered ±20% so a fleet of shards does not
+// relaunch doomed training runs in lockstep. With the watcher disabled
+// (Interval < 0) there is no backoff — every Check is an explicit caller
+// decision.
+func (ap *Autopilot) failureBackoff(consec int) time.Duration {
 	if ap.policy.Interval < 0 {
 		return 0
 	}
-	b := 30 * ap.policy.Interval
+	b, max := 4*ap.policy.Interval, 240*ap.policy.Interval
+	for i := 1; i < consec && b < max; i++ {
+		b *= 2
+	}
+	if b > max {
+		b = max
+	}
 	if ap.policy.MinInterval > b {
 		b = ap.policy.MinInterval
 	}
-	return b
+	return time.Duration(float64(b) * (0.8 + 0.4*ap.rng.Float64()))
+}
+
+// hystMarginLocked is the adaptive coverage-trigger hysteresis: the margin
+// the remainder fraction must decay past baseFrac before a retrain trips.
+// With fewer than two retrains of history it is the fracHysteresis
+// cold-start default; after that it is fracMarginSigma standard deviations
+// of the achieved fractions, clamped to [fracMarginMin, fracMarginMax] —
+// stable rule-sets (low variance) trigger earlier, wildcard-heavy ones
+// whose achievable coverage wanders (high variance) are damped harder.
+func (ap *Autopilot) hystMarginLocked() float64 {
+	n := len(ap.fracHist)
+	if n < 2 {
+		return fracHysteresis
+	}
+	var mean float64
+	for _, f := range ap.fracHist {
+		mean += f
+	}
+	mean /= float64(n)
+	var v float64
+	for _, f := range ap.fracHist {
+		v += (f - mean) * (f - mean)
+	}
+	m := fracMarginSigma * math.Sqrt(v/float64(n))
+	if m < fracMarginMin {
+		m = fracMarginMin
+	}
+	if m > fracMarginMax {
+		m = fracMarginMax
+	}
+	return m
+}
+
+// recordFracLocked appends a (re)build's achieved remainder fraction to
+// the variance window.
+func (ap *Autopilot) recordFracLocked(frac float64) {
+	ap.fracHist = append(ap.fracHist, frac)
+	if len(ap.fracHist) > fracHistWindow {
+		ap.fracHist = ap.fracHist[len(ap.fracHist)-fracHistWindow:]
+	}
 }
 
 // watch is the background drift loop.
@@ -242,11 +348,11 @@ func (ap *Autopilot) watch(stop, done chan struct{}) {
 func (ap *Autopilot) Check() (bool, error) {
 	st := ap.e.Updates()
 	ap.mu.Lock()
-	reason, trip := ap.policy.evaluate(st, ap.baseFrac)
+	reason, trip := ap.policy.evaluate(st, ap.baseFrac, ap.hystMarginLocked())
 	ap.stats.Checks++
 	if !trip || ap.busy ||
 		(ap.policy.MinInterval > 0 && !ap.lastSwap.IsZero() && time.Since(ap.lastSwap) < ap.policy.MinInterval) ||
-		(!ap.lastFail.IsZero() && time.Since(ap.lastFail) < ap.failureBackoff()) {
+		(!ap.backoffUntil.IsZero() && time.Now().Before(ap.backoffUntil)) {
 		ap.mu.Unlock()
 		return false, nil
 	}
@@ -258,15 +364,27 @@ func (ap *Autopilot) Check() (bool, error) {
 	ap.mu.Lock()
 	ap.busy = false
 	if err != nil {
-		ap.lastFail = time.Now()
 		ap.stats.Failures++
+		ap.stats.ConsecFailures++
 		ap.stats.LastError = err.Error()
+		ap.stats.LastBackoff = ap.failureBackoff(ap.stats.ConsecFailures)
+		if ap.stats.LastBackoff > 0 {
+			ap.backoffUntil = time.Now().Add(ap.stats.LastBackoff)
+		} else {
+			ap.backoffUntil = time.Time{}
+		}
+		failHook := ap.policy.AfterFailure
 		ap.mu.Unlock()
+		if failHook != nil {
+			failHook(err)
+		}
 		return false, err
 	}
-	ap.lastFail = time.Time{}
+	ap.backoffUntil = time.Time{}
+	ap.stats.ConsecFailures = 0
 	ap.lastSwap = time.Now()
 	ap.baseFrac = 1 - rst.CoverageAfter
+	ap.recordFracLocked(ap.baseFrac)
 	ap.stats.Retrains++
 	ap.stats.Replayed += rst.Replayed
 	ap.stats.LastTrigger = reason
@@ -277,17 +395,32 @@ func (ap *Autopilot) Check() (bool, error) {
 		ap.stats.MaxSwap = rst.SwapTime
 	}
 	hook := ap.policy.AfterRetrain
+	retries := ap.policy.PersistRetries
 	ap.mu.Unlock()
 
 	// The persistence hook runs outside the lock: it typically serializes
 	// the whole engine, which must not block Stats() or a Stop() in flight.
+	// Transient failures (a full disk, a torn NFS write) are retried with a
+	// short exponential backoff before the failure is recorded.
 	if hook != nil {
-		if herr := hook(rst); herr != nil {
+		herr := hook(rst)
+		for attempt := 0; herr != nil && attempt < retries; attempt++ {
 			ap.mu.Lock()
-			ap.stats.PersistFailures++
-			ap.stats.LastPersistError = herr.Error()
+			ap.stats.PersistRetries++
+			delay := time.Duration(float64(5*time.Millisecond<<uint(attempt)) * (0.8 + 0.4*ap.rng.Float64()))
 			ap.mu.Unlock()
+			time.Sleep(delay)
+			herr = hook(rst)
 		}
+		ap.mu.Lock()
+		if herr != nil {
+			ap.stats.PersistFailures++
+			ap.stats.ConsecPersistFailures++
+			ap.stats.LastPersistError = herr.Error()
+		} else {
+			ap.stats.ConsecPersistFailures = 0
+		}
+		ap.mu.Unlock()
 	}
 	return true, nil
 }

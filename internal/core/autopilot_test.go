@@ -307,7 +307,7 @@ func TestAutopilotBacksOffAfterFailedRetrain(t *testing.T) {
 	if _, err := ap.Check(); err == nil {
 		t.Fatal("first tripped check must surface the retrain failure")
 	}
-	// The drift is still tripped, but the failure backoff (30×Interval)
+	// The drift is still tripped, but the exponential failure backoff
 	// must suppress watcher-style re-attempts instead of relaunching a
 	// doomed training run on every poll.
 	for i := 0; i < 5; i++ {
@@ -361,32 +361,32 @@ func TestInsertRejectsInvalidRange(t *testing.T) {
 
 func TestAutopilotPolicyEvaluate(t *testing.T) {
 	p := AutopilotPolicy{}.withDefaults()
-	if reason, trip := p.evaluate(UpdateStats{LiveRules: 10, Inserted: 1 << 20}, 0); trip {
+	if reason, trip := p.evaluate(UpdateStats{LiveRules: 10, Inserted: 1 << 20}, 0, fracHysteresis); trip {
 		t.Errorf("tripped below MinLiveRules: %s", reason)
 	}
-	if _, trip := p.evaluate(UpdateStats{LiveRules: 1000, Inserted: p.MaxUpdates}, 0); !trip {
+	if _, trip := p.evaluate(UpdateStats{LiveRules: 1000, Inserted: p.MaxUpdates}, 0, fracHysteresis); !trip {
 		t.Error("MaxUpdates must trip")
 	}
-	if _, trip := p.evaluate(UpdateStats{LiveRules: 1000, RemainderFraction: 0.9}, 0); !trip {
+	if _, trip := p.evaluate(UpdateStats{LiveRules: 1000, RemainderFraction: 0.9}, 0, fracHysteresis); !trip {
 		t.Error("MaxRemainderFraction must trip")
 	}
-	if _, trip := p.evaluate(UpdateStats{LiveRules: 1000, OverlayCompactions: 99}, 0); !trip {
+	if _, trip := p.evaluate(UpdateStats{LiveRules: 1000, OverlayCompactions: 99}, 0, fracHysteresis); !trip {
 		t.Error("MaxOverlayCompactions must trip")
 	}
-	if _, trip := p.evaluate(UpdateStats{LiveRules: 1000, Inserted: p.MaxUpdates - 1}, 0); trip {
+	if _, trip := p.evaluate(UpdateStats{LiveRules: 1000, Inserted: p.MaxUpdates - 1}, 0, fracHysteresis); trip {
 		t.Error("must not trip below every threshold")
 	}
 	// Hysteresis: a fraction above the ceiling but within fracHysteresis of
 	// what the last build achieved must NOT trip — retraining cannot improve
 	// it and would loop.
-	if reason, trip := p.evaluate(UpdateStats{LiveRules: 1000, RemainderFraction: 0.55}, 0.52); trip {
+	if reason, trip := p.evaluate(UpdateStats{LiveRules: 1000, RemainderFraction: 0.55}, 0.52, fracHysteresis); trip {
 		t.Errorf("fraction within hysteresis of the build floor tripped: %s", reason)
 	}
-	if _, trip := p.evaluate(UpdateStats{LiveRules: 1000, RemainderFraction: 0.58}, 0.52); !trip {
+	if _, trip := p.evaluate(UpdateStats{LiveRules: 1000, RemainderFraction: 0.58}, 0.52, fracHysteresis); !trip {
 		t.Error("fraction decayed past hysteresis must trip")
 	}
 	off := AutopilotPolicy{MaxUpdates: -1, MaxRemainderFraction: -1, MaxOverlayCompactions: -1, MinLiveRules: -1}.withDefaults()
-	if reason, trip := off.evaluate(UpdateStats{LiveRules: 1000, Inserted: 1 << 20, RemainderFraction: 1, OverlayCompactions: 1 << 20}, 0); trip {
+	if reason, trip := off.evaluate(UpdateStats{LiveRules: 1000, Inserted: 1 << 20, RemainderFraction: 1, OverlayCompactions: 1 << 20}, 0, fracHysteresis); trip {
 		t.Errorf("disabled policy tripped: %s", reason)
 	}
 }

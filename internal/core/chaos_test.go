@@ -1,0 +1,355 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"nuevomatch/internal/classbench"
+	"nuevomatch/internal/faultinject"
+	"nuevomatch/internal/rules"
+)
+
+// waitHealthy polls the cluster until every quarantine clears or the
+// deadline passes.
+func waitHealthy(t *testing.T, c *Cluster) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if h := c.Health(); h.State == Healthy {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("cluster never returned to Healthy: %v", c.Health())
+}
+
+// chaosPolicy keeps quarantine rebuild pacing fast enough for tests.
+func chaosPolicy() QuarantinePolicy {
+	return QuarantinePolicy{FailureThreshold: 3, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+}
+
+// TestClusterChaosFailStatic is the chaos harness: across ClassBench
+// profiles, a randomized fault schedule (failing retrains, failing and
+// torn saves, shard-load faults, injected shard latency) runs under a
+// churn workload in which EVERY lookup is verified against the linear
+// mirror. The fail-static invariant must hold throughout — answers are
+// never wrong, only possibly stale — the cluster may reach Degraded but
+// never Failed, and once the faults lift it must return to Healthy and
+// serve a clean save/load round trip.
+func TestClusterChaosFailStatic(t *testing.T) {
+	profiles := []string{"acl1", "fw3", "ipc1"}
+	ops := 1500
+	if testing.Short() {
+		ops = 400
+	}
+	for pi, name := range profiles {
+		t.Run(name, func(t *testing.T) {
+			defer faultinject.Reset()
+			prof, err := classbench.ProfileByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := newClusterDriver(t, prof, 150, ops, clusterTestOpts(3, PartitionRange), 100+int64(pi))
+			defer d.c.Close()
+			d.c.SetQuarantinePolicy(chaosPolicy())
+			dir := t.TempDir()
+			if err := d.c.SaveDir(dir); err != nil {
+				t.Fatal(err)
+			}
+
+			// The randomized schedule: every fault deterministic per profile.
+			seed := int64(7_000 + pi)
+			faultinject.Enable("core.retrain.build", faultinject.Rule{Probability: 0.5, Seed: seed})
+			faultinject.Enable("core.cluster.save.shard", faultinject.Rule{Probability: 0.3, Seed: seed + 1})
+			faultinject.Enable("core.cluster.save.current", faultinject.Rule{Probability: 0.2, Seed: seed + 2})
+			faultinject.Enable("core.cluster.shard.slow", faultinject.Rule{Probability: 0.02, Seed: seed + 3, Delay: 200 * time.Microsecond})
+
+			rng := rand.New(rand.NewSource(seed))
+			saves, saveFails, retrains, retrainFails := 0, 0, 0, 0
+			for i := 0; i < ops; i++ {
+				d.step() // every lookup inside verifies against the mirror
+				if i%40 == 20 {
+					retrains++
+					if _, err := d.c.RetrainShard(rng.Intn(d.c.NumShards())); err != nil && !errors.Is(err, ErrRetrainInProgress) {
+						retrainFails++
+					}
+				}
+				if i%100 == 50 {
+					saves++
+					if err := d.c.SaveDir(dir); err != nil {
+						saveFails++
+					}
+				}
+				if i%50 == 0 {
+					if h := d.c.Health(); h.State == Failed {
+						t.Fatalf("op %d: cluster reached Failed under faults: %v", i, h)
+					}
+				}
+			}
+			d.verifySweep(300)
+			if retrainFails == 0 && saveFails == 0 {
+				t.Fatalf("chaos schedule injected nothing (%d retrains, %d saves) — dead harness", retrains, saves)
+			}
+			t.Logf("%s: %d ops, %d/%d retrains failed, %d/%d saves failed, health %v",
+				name, ops, retrainFails, retrains, saveFails, saves, d.c.Health())
+
+			// Faults lift: the cluster must heal and serve a clean round trip.
+			// Sub-threshold failure streaks clear on the next successful
+			// retrain (in production the autopilot's), so drive one per shard.
+			faultinject.Reset()
+			for s := 0; s < d.c.NumShards(); s++ {
+				for {
+					if _, err := d.c.RetrainShard(s); err == nil || !errors.Is(err, ErrRetrainInProgress) {
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+			waitHealthy(t, d.c)
+			if err := d.c.SaveDir(dir); err != nil {
+				t.Fatalf("post-chaos save: %v", err)
+			}
+			if _, err := FsckClusterDir(dir, true); err != nil {
+				t.Fatalf("post-chaos fsck: %v", err)
+			}
+			pkts := make([]rules.Packet, 300)
+			for i := range pkts {
+				pkts[i] = d.packet()
+			}
+			if mm := snapshotMismatches(t, dir, d.mirror, pkts); mm != 0 {
+				t.Fatalf("post-chaos reload: %d mismatches", mm)
+			}
+		})
+	}
+}
+
+// TestClusterQuarantineLifecycle drives the full deterministic cycle on
+// one shard: consecutive retrain failures cross the threshold, the shard
+// quarantines (Degraded, correct answers throughout), the background
+// rebuilder retries through more failures, and the first successful
+// rebuild returns the cluster to Healthy.
+func TestClusterQuarantineLifecycle(t *testing.T) {
+	defer faultinject.Reset()
+	prof, err := classbench.ProfileByName("fw2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newClusterDriver(t, prof, 150, 100, clusterTestOpts(3, PartitionRange), 31)
+	defer d.c.Close()
+	d.c.SetQuarantinePolicy(QuarantinePolicy{FailureThreshold: 2, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond})
+	for d.inserts+d.deletes < 30 {
+		d.step()
+	}
+
+	// 2 foreground failures trip quarantine; the rebuilder eats 2 more
+	// before its third attempt succeeds.
+	faultinject.Enable("core.retrain.build", faultinject.Rule{FailCount: 4})
+	for i := 0; i < 2; i++ {
+		if _, err := d.c.RetrainShard(1); err == nil {
+			t.Fatalf("retrain %d survived an armed build fault", i)
+		}
+	}
+	if got := d.c.QuarantinedShards(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("quarantined = %v, want [1]", got)
+	}
+	h := d.c.Health()
+	if h.State != Degraded {
+		t.Fatalf("health = %v, want Degraded", h)
+	}
+	// Fail-static while quarantined: the shard serves its last snapshot.
+	for i := 0; i < 200; i++ {
+		p := d.packet()
+		if got, want := d.c.Lookup(p), d.mirror.MatchID(p); got != want {
+			t.Fatalf("quarantined Lookup(%v) = %d, want %d", p, got, want)
+		}
+	}
+	waitHealthy(t, d.c)
+	if got := d.c.QuarantinedShards(); len(got) != 0 {
+		t.Fatalf("still quarantined after heal: %v", got)
+	}
+	d.verifySweep(200)
+}
+
+// TestClusterQuarantineNotes covers the tracker's edges: successes reset
+// the consecutive count, ErrRetrainInProgress is not a failure, a negative
+// threshold disables retrain-failure quarantine, and Health attributes
+// sub-threshold failures without quarantining.
+func TestClusterQuarantineNotes(t *testing.T) {
+	prof, err := classbench.ProfileByName("acl3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newClusterDriver(t, prof, 100, 20, clusterTestOpts(2, PartitionRange), 37)
+	defer d.c.Close()
+	boom := errors.New("boom")
+
+	// Sub-threshold failures: Degraded with retrain-failing, no quarantine.
+	d.c.NoteRetrainFailure(0, boom)
+	d.c.NoteRetrainFailure(0, boom)
+	h := d.c.Health()
+	if h.State != Degraded || len(h.Reasons) != 1 || h.Reasons[0].Code != "retrain-failing" || h.Reasons[0].Shard != 0 {
+		t.Fatalf("sub-threshold health = %+v", h)
+	}
+	if len(d.c.QuarantinedShards()) != 0 {
+		t.Fatalf("quarantined below threshold")
+	}
+	// A success resets the streak.
+	d.c.NoteRetrainSuccess(0)
+	if h := d.c.Health(); h.State != Healthy {
+		t.Fatalf("health after success = %v, want Healthy", h)
+	}
+	// Non-failures are ignored.
+	d.c.NoteRetrainFailure(0, nil)
+	d.c.NoteRetrainFailure(0, ErrRetrainInProgress)
+	d.c.NoteRetrainFailure(-1, boom)
+	d.c.NoteRetrainFailure(99, boom)
+	if h := d.c.Health(); h.State != Healthy {
+		t.Fatalf("health after ignorable notes = %v", h)
+	}
+	// Negative threshold disables retrain-failure quarantine entirely.
+	d.c.SetQuarantinePolicy(QuarantinePolicy{FailureThreshold: -1})
+	for i := 0; i < 10; i++ {
+		d.c.NoteRetrainFailure(1, boom)
+	}
+	if len(d.c.QuarantinedShards()) != 0 {
+		t.Fatalf("disabled threshold still quarantined")
+	}
+}
+
+// TestEngineHealth maps autopilot stats to engine health states.
+func TestEngineHealth(t *testing.T) {
+	if h := EngineHealth(AutopilotStats{}); h.State != Healthy || len(h.Reasons) != 0 {
+		t.Fatalf("zero stats: %+v", h)
+	}
+	h := EngineHealth(AutopilotStats{ConsecFailures: 2, LastError: "x"})
+	if h.State != Degraded || h.Reasons[0].Code != "retrain-failing" {
+		t.Fatalf("retrain failures: %+v", h)
+	}
+	h = EngineHealth(AutopilotStats{ConsecPersistFailures: 1, LastPersistError: "y"})
+	if h.State != Degraded || h.Reasons[0].Code != "persist-failing" {
+		t.Fatalf("persist failures: %+v", h)
+	}
+	h = EngineHealth(AutopilotStats{ConsecFailures: 1, ConsecPersistFailures: 1})
+	if h.State != Degraded || len(h.Reasons) != 2 {
+		t.Fatalf("both: %+v", h)
+	}
+}
+
+// TestHealthStrings pins the wire-visible names.
+func TestHealthStrings(t *testing.T) {
+	if Healthy.String() != "healthy" || Degraded.String() != "degraded" || Failed.String() != "failed" {
+		t.Fatalf("state names changed: %v %v %v", Healthy, Degraded, Failed)
+	}
+	h := Health{State: Degraded, Reasons: []HealthReason{
+		{Shard: 1, Code: "shard-quarantined", Detail: "d"},
+		{Shard: -1, Code: "persist-failing", Detail: "p"},
+	}}
+	want := "degraded; shard 1 shard-quarantined: d; persist-failing: p"
+	if got := h.String(); got != want {
+		t.Fatalf("Health.String() = %q, want %q", got, want)
+	}
+}
+
+// fuzzFaultPoints is the schedule surface FuzzFaultSchedule draws from.
+var fuzzFaultPoints = []string{
+	"core.cluster.save.shard",
+	"core.cluster.save.rules",
+	"core.cluster.save.manifest",
+	"core.cluster.save.sync",
+	"core.cluster.save.rename",
+	"core.cluster.save.current",
+	"core.cluster.load.shard",
+	"core.retrain.build",
+	"core.retrain.replay",
+	"core.codec.write",
+	"core.codec.read",
+}
+
+// FuzzFaultSchedule fuzzes the fault schedule itself: an arbitrary
+// (point, skip, count, probability) schedule is armed over a full
+// save → kill → load → fsck → serve cycle on a small cluster. Whatever the
+// schedule, the invariants must hold: no panic, loads either fail cleanly
+// or serve zero wrong answers, health never reads Failed on a live
+// cluster, and a repaired directory always loads.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(1), uint8(0))
+	f.Add(int64(2), uint8(3), uint8(1), uint8(2), uint8(128))
+	f.Add(int64(3), uint8(6), uint8(0), uint8(3), uint8(255))
+	f.Add(int64(4), uint8(7), uint8(2), uint8(1), uint8(64))
+	f.Add(int64(5), uint8(9), uint8(0), uint8(255), uint8(32))
+	f.Add(int64(6), uint8(5), uint8(4), uint8(1), uint8(0))
+
+	prof, err := classbench.ProfileByName("acl1")
+	if err != nil {
+		f.Fatal(err)
+	}
+	base := classbench.Generate(prof, 60)
+	for i := range base.Rules {
+		base.Rules[i].Priority = int32(i + 1)
+	}
+	// Remainder-only engines: no training cost per fuzz iteration, and
+	// retrains still exercise the full journal/replay/swap machinery.
+	opts := fastOpts()
+	opts.MaxISets = -1
+
+	f.Fuzz(func(t *testing.T, seed int64, pointSel, skip, count, prob uint8) {
+		defer faultinject.Reset()
+		point := fuzzFaultPoints[int(pointSel)%len(fuzzFaultPoints)]
+		rule := faultinject.Rule{
+			SkipFirst: int(skip % 8),
+			FailCount: int(count % 8),
+			Seed:      seed,
+		}
+		if prob > 0 {
+			rule.Probability = float64(prob) / 255
+		}
+
+		c, err := BuildCluster(base.Clone(), ClusterOptions{
+			Shards: 2, PartitionField: AutoPartitionField, Kind: PartitionRange, Engine: opts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.SetQuarantinePolicy(chaosPolicy())
+		dir := t.TempDir()
+		if err := c.SaveDir(dir); err != nil {
+			t.Fatal(err) // no faults armed yet
+		}
+
+		faultinject.Enable(point, rule)
+		c.SaveDir(dir)       // may tear; crash semantics on purpose
+		c.RetrainShard(0)    // may fail or quarantine
+		c.RetrainShard(1)    // may fail or quarantine
+		if lc, err := LoadClusterDir(dir, nil); err == nil {
+			for i := 0; i < 50; i++ {
+				p := make(rules.Packet, base.NumFields)
+				for j := range p {
+					p[j] = rand.New(rand.NewSource(seed + int64(i*7+j))).Uint32()
+				}
+				if got, want := lc.Lookup(p), base.MatchID(p); got != want {
+					t.Fatalf("fault %s: loaded cluster Lookup = %d, want %d", point, got, want)
+				}
+			}
+			if lc.Health().State == Failed {
+				t.Fatalf("fault %s: live loaded cluster reports Failed", point)
+			}
+			lc.Close()
+		}
+		faultinject.Reset()
+
+		if h := c.Health(); h.State == Failed {
+			t.Fatalf("fault %s: live cluster reports Failed", point)
+		}
+		if _, err := FsckClusterDir(dir, true); err != nil {
+			t.Fatalf("fault %s: fsck repair: %v", point, err)
+		}
+		lc, err := LoadClusterDir(dir, nil)
+		if err != nil {
+			t.Fatalf("fault %s: repaired directory did not load: %v", point, err)
+		}
+		lc.Close()
+	})
+}

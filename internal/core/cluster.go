@@ -23,6 +23,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -30,6 +31,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nuevomatch/internal/faultinject"
 	"nuevomatch/internal/rules"
 )
 
@@ -243,10 +245,23 @@ type Cluster struct {
 	// at Delete(id) time).
 	shardsOf   map[int]uint64
 	replicated int // live rules with more than one replica
+	// ruleByID is the cluster's authoritative replica table: one deep copy
+	// of every distinct live rule. It is what SaveDir persists as the rules
+	// artifact and what quarantine rebuilds a lost shard from.
+	ruleByID map[int]rules.Rule
 
 	// saveMu serializes whole-directory saves with each other (they write
 	// outside c.mu so updates are not stalled for the disk I/O).
 	saveMu sync.Mutex
+
+	// qmu guards the quarantine state; see health.go.
+	qmu          sync.Mutex
+	qpolicy      QuarantinePolicy
+	quarantined  map[int]*shardQuarantine
+	retrainFails map[int]int
+	qrng         *rand.Rand
+	qstop        chan struct{}
+	qwg          sync.WaitGroup
 
 	wpool   chan *clusterWorker
 	scratch sync.Pool
@@ -285,6 +300,7 @@ func BuildCluster(rs *rules.RuleSet, opts ClusterOptions) (*Cluster, error) {
 	c := &Cluster{
 		part:     pt,
 		shardsOf: make(map[int]uint64, rs.Len()),
+		ruleByID: make(map[int]rules.Rule, rs.Len()),
 	}
 	shardRules := make([]*rules.RuleSet, pt.shards)
 	for s := range shardRules {
@@ -294,6 +310,7 @@ func BuildCluster(rs *rules.RuleSet, opts ClusterOptions) (*Cluster, error) {
 		r := &rs.Rules[i]
 		mask := pt.shardMaskOfRange(r.Fields[field])
 		c.shardsOf[r.ID] = mask
+		c.ruleByID[r.ID] = cloneRule(*r)
 		if mask&(mask-1) != 0 {
 			c.replicated++
 		}
@@ -333,6 +350,11 @@ func BuildCluster(rs *rules.RuleSet, opts ClusterOptions) (*Cluster, error) {
 func (c *Cluster) finish() {
 	c.wpool = make(chan *clusterWorker, len(c.engines))
 	c.scratch.New = func() any { return newClusterScratch(len(c.engines)) }
+	c.qpolicy = QuarantinePolicy{}.withDefaults()
+	c.quarantined = make(map[int]*shardQuarantine)
+	c.retrainFails = make(map[int]int)
+	c.qrng = newQuarantineRNG()
+	c.qstop = make(chan struct{})
 }
 
 // NumShards returns the number of engine shards actually serving (the range
@@ -505,6 +527,11 @@ func (c *Cluster) LookupBatch(pkts []rules.Packet, out []int) {
 		}
 		scr.res[s] = scr.res[s][:n]
 	}
+	// Slow-shard fault point: one atomic load when disarmed; when armed it
+	// delays this batch's dispatch, modeling a shard that answers late (a
+	// paging host, a contended core). Answers stay correct — latency faults
+	// never violate fail-static.
+	faultinject.Sleep("core.cluster.shard.slow")
 	if len(scr.order) >= 2 && runtime.GOMAXPROCS(0) >= 2 {
 		// Fan the tail shards out to workers; serve the first inline so the
 		// calling goroutine contributes a core instead of blocking.
@@ -583,6 +610,7 @@ func (c *Cluster) insertLocked(r rules.Rule) error {
 		}
 	}
 	c.shardsOf[r.ID] = mask
+	c.ruleByID[r.ID] = cloneRule(r)
 	if mask&(mask-1) != 0 {
 		c.replicated++
 	}
@@ -614,6 +642,7 @@ func (c *Cluster) deleteLocked(id int) error {
 		}
 	}
 	delete(c.shardsOf, id)
+	delete(c.ruleByID, id)
 	if mask&(mask-1) != 0 {
 		c.replicated--
 	}
@@ -633,9 +662,16 @@ func (c *Cluster) Modify(r rules.Rule) error {
 
 // RetrainShard retrains one shard in place (Engine.Retrain): the other
 // shards keep serving and taking updates unaffected — the isolation that
-// motivates sharding the autopilot.
+// motivates sharding the autopilot. Outcomes feed the quarantine tracker:
+// repeated failures on one shard eventually isolate it (health.go).
 func (c *Cluster) RetrainShard(s int) (RetrainStats, error) {
-	return c.engines[s].Retrain()
+	st, err := c.engines[s].Retrain()
+	if err != nil {
+		c.NoteRetrainFailure(s, err)
+	} else {
+		c.NoteRetrainSuccess(s)
+	}
+	return st, err
 }
 
 // LiveRuleSet snapshots the distinct live rules across all shards, with
@@ -703,12 +739,18 @@ func (c *Cluster) MemoryFootprint() int {
 
 var _ rules.Classifier = (*Cluster)(nil)
 
-// Close retires the cluster's pooled batch workers and closes every shard
-// engine. Lookups remain safe after Close (each shard's published snapshot
-// is immutable); updates on closed shard engines are the caller's to fence,
-// as with Engine.Close.
+// Close retires the cluster's pooled batch workers, stops any background
+// quarantine rebuilders (waiting for an in-flight rebuild attempt to
+// finish), and closes every shard engine. Lookups remain safe after Close
+// (each shard's published snapshot is immutable); updates on closed shard
+// engines are the caller's to fence, as with Engine.Close. Close is
+// idempotent.
 func (c *Cluster) Close() {
-	c.closed.Store(true)
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(c.qstop)
+	c.qwg.Wait()
 	c.drainWorkers()
 	for _, e := range c.engines {
 		e.Close()
@@ -740,6 +782,11 @@ type clusterManifest struct {
 	Field   int      `json:"partition_field"`
 	Cuts    []uint32 `json:"cuts,omitempty"`
 	Shards  []string `json:"shards"`
+	// Rules names the cluster rules artifact (the authoritative replica
+	// table, see clusterRulesName) saved alongside the shards. Optional:
+	// directories saved before the artifact existed load without it, they
+	// just cannot quarantine-and-rebuild a corrupt shard.
+	Rules string `json:"rules,omitempty"`
 }
 
 // readClusterManifest parses and strictly validates a manifest document.
@@ -800,6 +847,14 @@ func readClusterManifest(data []byte) (clusterManifest, error) {
 		}
 		seen[name] = true
 	}
+	if m.Rules != "" {
+		if m.Rules == "." || m.Rules == ".." || filepath.Base(m.Rules) != m.Rules {
+			return m, fmt.Errorf("core: illegal rules file name %q", m.Rules)
+		}
+		if seen[m.Rules] {
+			return m, fmt.Errorf("core: rules file %q collides with a shard file", m.Rules)
+		}
+	}
 	return m, nil
 }
 
@@ -841,76 +896,6 @@ func writeFileAtomic(path string, write func(*os.File) error) error {
 // shardFileName names shard s's table artifact inside a cluster directory.
 func shardFileName(s int) string { return fmt.Sprintf("shard-%02d.nm", s) }
 
-// SaveDir persists the whole cluster into dir: one engine-codec .nm file
-// per shard plus the manifest, every file written atomically, the shard
-// renames made durable (directory fsync) before the manifest is written,
-// and the manifest written last and fsynced too — a crash mid-save leaves
-// either the previous complete cluster or no new manifest, never a
-// half-readable one. The replica files are one consistent cut: every shard
-// serializes to memory under the update lock, but the disk writes happen
-// outside it, so a save (the autopilot persist hook especially) does not
-// stall updates on every shard for the duration of N file writes. Lookups
-// are unaffected throughout.
-func (c *Cluster) SaveDir(dir string) error {
-	// Concurrent saves (two shards' persist hooks firing close together)
-	// must not interleave their file writes — the directory would mix two
-	// cuts and fail the load-time invariant check.
-	c.saveMu.Lock()
-	defer c.saveMu.Unlock()
-
-	c.mu.Lock()
-	m := clusterManifest{
-		Format:  clusterManifestFormat,
-		Version: clusterManifestVersion,
-		Kind:    c.part.kind.String(),
-		Field:   c.part.field,
-		Cuts:    c.part.cuts,
-		Shards:  make([]string, len(c.engines)),
-	}
-	blobs := make([][]byte, len(c.engines))
-	for s, e := range c.engines {
-		m.Shards[s] = shardFileName(s)
-		var buf bytes.Buffer
-		if _, err := e.WriteTo(&buf); err != nil {
-			c.mu.Unlock()
-			return fmt.Errorf("core: serializing shard %d: %w", s, err)
-		}
-		blobs[s] = buf.Bytes()
-	}
-	c.mu.Unlock()
-
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	for s, blob := range blobs {
-		err := writeFileAtomic(filepath.Join(dir, m.Shards[s]), func(f *os.File) error {
-			_, werr := f.Write(blob)
-			return werr
-		})
-		if err != nil {
-			return fmt.Errorf("core: saving shard %d: %w", s, err)
-		}
-	}
-	// The shard renames must be durable before a manifest that references
-	// them exists; rename durability requires fsyncing the directory.
-	if err := syncDir(dir); err != nil {
-		return err
-	}
-	data, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	err = writeFileAtomic(filepath.Join(dir, ClusterManifestName), func(f *os.File) error {
-		_, werr := f.Write(data)
-		return werr
-	})
-	if err != nil {
-		return fmt.Errorf("core: saving cluster manifest: %w", err)
-	}
-	return syncDir(dir)
-}
-
 // syncDir fsyncs a directory, making completed renames inside it durable.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
@@ -922,63 +907,6 @@ func syncDir(dir string) error {
 		return err
 	}
 	return nil
-}
-
-// LoadClusterDir reconstructs a cluster saved by SaveDir: the manifest
-// restores the routing function, each shard loads through ReadEngine (no
-// retraining, checksums verified), and the replica-mask table is rebuilt
-// from the shards' live rules — re-verifying on the way that every rule
-// actually lives in exactly the shards the partitioner routes it to, so a
-// mismatched manifest/shard combination is rejected instead of silently
-// misrouting packets. remainder overrides the shards' recorded remainder
-// builder as in ReadEngine; nil uses the registry.
-func LoadClusterDir(dir string, remainder rules.Builder) (*Cluster, error) {
-	data, err := os.ReadFile(filepath.Join(dir, ClusterManifestName))
-	if err != nil {
-		return nil, err
-	}
-	m, err := readClusterManifest(data)
-	if err != nil {
-		return nil, err
-	}
-	kind, _ := partitionKindByName(m.Kind)
-	c := &Cluster{
-		part: partitioner{
-			kind:   kind,
-			field:  m.Field,
-			shards: len(m.Shards),
-			cuts:   m.Cuts,
-		},
-		shardsOf: make(map[int]uint64),
-	}
-	c.engines = make([]*Engine, len(m.Shards))
-	closeAll := func() {
-		for _, e := range c.engines {
-			if e != nil {
-				e.Close()
-			}
-		}
-	}
-	for s, name := range m.Shards {
-		f, err := os.Open(filepath.Join(dir, name))
-		if err != nil {
-			closeAll()
-			return nil, err
-		}
-		eng, err := ReadEngine(f, remainder)
-		f.Close()
-		if err != nil {
-			closeAll()
-			return nil, fmt.Errorf("core: loading shard %d (%s): %w", s, name, err)
-		}
-		c.engines[s] = eng
-	}
-	if err := c.rebuildReplicaTable(); err != nil {
-		closeAll()
-		return nil, err
-	}
-	c.finish()
-	return c, nil
 }
 
 // rebuildReplicaTable reconstructs shardsOf from the loaded shards and
@@ -1011,6 +939,7 @@ func (c *Cluster) rebuildReplicaTable() error {
 				rep.mask |= 1 << s
 			} else {
 				seen[r.ID] = &replica{mask: 1 << s, prio: r.Priority, rng: f}
+				c.ruleByID[r.ID] = cloneRule(*r)
 			}
 		}
 	}

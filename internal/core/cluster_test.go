@@ -426,9 +426,10 @@ func TestClusterPerShardRetrainChurn(t *testing.T) {
 }
 
 // TestClusterSaveLoadRoundTrip proves SaveDir → LoadClusterDir equivalence
-// on a drifted cluster, plus the loader's integrity rejections: corrupt
-// shard bytes, a tampered manifest, and shard files swapped under the
-// manifest must all fail to load rather than misroute.
+// on a drifted cluster, plus the loader's integrity handling: corrupt
+// shard bytes quarantine the shard (served correctly from the rules
+// artifact's fallback) while a tampered manifest or shard files swapped
+// under the manifest must fail to load rather than misroute.
 func TestClusterSaveLoadRoundTrip(t *testing.T) {
 	prof, err := classbench.ProfileByName("fw3")
 	if err != nil {
@@ -487,8 +488,16 @@ func TestClusterSaveLoadRoundTrip(t *testing.T) {
 		t.Fatalf("inserted wildcard invisible after retrain: got NoMatch")
 	}
 
-	// Corrupt one shard file: the engine codec's checksum must reject it.
-	corrupt := filepath.Join(dir, shardFileName(1))
+	// Tampering targets live inside the current generation directory.
+	gdir, err := ClusterCurrentDir(dir)
+	if err != nil {
+		t.Fatalf("ClusterCurrentDir: %v", err)
+	}
+
+	// Corrupt one shard file: the engine codec's checksum rejects it, and
+	// the loader quarantines the shard — serving it correctly from the
+	// rules artifact's remainder-only fallback instead of failing the load.
+	corrupt := filepath.Join(gdir, shardFileName(1))
 	blob, err := os.ReadFile(corrupt)
 	if err != nil {
 		t.Fatal(err)
@@ -498,9 +507,22 @@ func TestClusterSaveLoadRoundTrip(t *testing.T) {
 	if err := os.WriteFile(corrupt, mut, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadClusterDir(dir, nil); err == nil {
-		t.Fatal("cluster with a corrupted shard loaded without error")
+	qc, err := LoadClusterDir(dir, nil)
+	if err != nil {
+		t.Fatalf("load with one corrupt shard should quarantine, got error: %v", err)
 	}
+	if got := qc.QuarantinedShards(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("quarantined shards = %v, want [1]", got)
+	}
+	if h := qc.Health(); h.State != Degraded {
+		t.Fatalf("health after quarantined load = %v, want Degraded", h)
+	}
+	for i, p := range pkts {
+		if got := qc.Lookup(p); got != d.mirror.MatchID(p) {
+			t.Fatalf("quarantined cluster Lookup[%d] = %d, want %d", i, got, d.mirror.MatchID(p))
+		}
+	}
+	qc.Close()
 	if err := os.WriteFile(corrupt, blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -508,7 +530,7 @@ func TestClusterSaveLoadRoundTrip(t *testing.T) {
 	// Swap two shard files under the manifest: every rule still loads, but
 	// replicas no longer sit where the partitioner routes them — the
 	// invariant check must refuse.
-	a, b := filepath.Join(dir, shardFileName(0)), filepath.Join(dir, shardFileName(1))
+	a, b := filepath.Join(gdir, shardFileName(0)), filepath.Join(gdir, shardFileName(1))
 	blobA, _ := os.ReadFile(a)
 	blobB, _ := os.ReadFile(b)
 	if err := os.WriteFile(a, blobB, 0o644); err != nil {
@@ -529,7 +551,7 @@ func TestClusterSaveLoadRoundTrip(t *testing.T) {
 
 	// Tamper with the manifest's routing: cuts that do not match the shard
 	// contents must be rejected by the same invariant.
-	mpath := filepath.Join(dir, ClusterManifestName)
+	mpath := filepath.Join(gdir, ClusterManifestName)
 	mdata, err := os.ReadFile(mpath)
 	if err != nil {
 		t.Fatal(err)

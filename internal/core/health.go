@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// This file is the self-healing layer of the cluster: a machine-readable
+// health model (Health/HealthState/HealthReason) and shard quarantine — a
+// shard whose saved artifact fails to load, or whose retrains keep
+// failing, is isolated behind a correct-but-slower fallback and rebuilt in
+// the background while every other shard keeps serving. The fail-static
+// guarantee holds throughout: a quarantined shard still answers from a
+// complete rule replica (remainder-only fallback engine or its last
+// published snapshot), so lookups are never wrong, only possibly slower or
+// staler.
+
+// HealthState classifies a component's ability to serve.
+type HealthState uint8
+
+const (
+	// Healthy: serving normally, no degradation signals.
+	Healthy HealthState = iota
+	// Degraded: serving correct answers, but something needs attention — a
+	// quarantined shard, failing retrains, or failing persistence.
+	Degraded
+	// Failed: not serving (closed, or no usable shards).
+	Failed
+)
+
+// String names the state for logs and JSON artifacts.
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("HealthState(%d)", uint8(s))
+	}
+}
+
+// HealthReason is one machine-readable degradation signal.
+type HealthReason struct {
+	// Shard is the shard index the reason applies to, or -1 for
+	// whole-component reasons.
+	Shard int `json:"shard"`
+	// Code is a stable machine-readable identifier: "closed",
+	// "shard-quarantined", "retrain-failing", "persist-failing".
+	Code string `json:"code"`
+	// Detail is the human-readable specifics.
+	Detail string `json:"detail"`
+}
+
+// Health is a point-in-time health summary: the overall state plus one
+// reason per degradation signal (empty when Healthy).
+type Health struct {
+	State   HealthState    `json:"state"`
+	Reasons []HealthReason `json:"reasons,omitempty"`
+}
+
+// String renders the summary on one line.
+func (h Health) String() string {
+	s := h.State.String()
+	for _, r := range h.Reasons {
+		if r.Shard >= 0 {
+			s += fmt.Sprintf("; shard %d %s: %s", r.Shard, r.Code, r.Detail)
+		} else {
+			s += fmt.Sprintf("; %s: %s", r.Code, r.Detail)
+		}
+	}
+	return s
+}
+
+// QuarantinePolicy configures when a cluster isolates a shard and how its
+// background rebuilder paces retries.
+type QuarantinePolicy struct {
+	// FailureThreshold is how many consecutive retrain failures on one
+	// shard trigger quarantine. Zero means 3; negative disables
+	// retrain-failure quarantine (load-failure quarantine still applies).
+	FailureThreshold int
+	// BaseBackoff is the rebuilder's initial retry pause; it doubles per
+	// failed rebuild up to MaxBackoff, with ±20% jitter. Zero means 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the rebuilder's pause. Zero means 5s.
+	MaxBackoff time.Duration
+}
+
+func (p QuarantinePolicy) withDefaults() QuarantinePolicy {
+	if p.FailureThreshold == 0 {
+		p.FailureThreshold = 3
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	return p
+}
+
+// shardQuarantine tracks one isolated shard.
+type shardQuarantine struct {
+	reason   string
+	since    time.Time
+	rebuilds int    // failed rebuild attempts so far
+	lastErr  string // most recent rebuild error
+}
+
+// SetQuarantinePolicy replaces the cluster's quarantine policy (zero
+// fields take the documented defaults). It affects future quarantine
+// decisions and rebuild pacing; already-running rebuilders keep their
+// current pace.
+func (c *Cluster) SetQuarantinePolicy(p QuarantinePolicy) {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	c.qpolicy = p.withDefaults()
+}
+
+// QuarantinedShards lists the currently quarantined shard indexes, sorted.
+func (c *Cluster) QuarantinedShards() []int {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	out := make([]int, 0, len(c.quarantined))
+	for s := range c.quarantined {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NoteRetrainFailure records a failed retrain on shard s and quarantines
+// the shard once the policy's consecutive-failure threshold is reached:
+// the shard keeps serving its last published snapshot (correct, possibly
+// stale) while a background rebuilder retries with exponential backoff.
+// It reports whether this call initiated a quarantine. ErrRetrainInProgress
+// is not a shard failure and is ignored.
+func (c *Cluster) NoteRetrainFailure(s int, err error) bool {
+	if err == nil || err == ErrRetrainInProgress || s < 0 || s >= len(c.engines) {
+		return false
+	}
+	c.qmu.Lock()
+	p := c.qpolicy
+	if p.FailureThreshold < 0 {
+		c.qmu.Unlock()
+		return false
+	}
+	c.retrainFails[s]++
+	n := c.retrainFails[s]
+	c.qmu.Unlock()
+	if n < p.FailureThreshold {
+		return false
+	}
+	return c.quarantineShard(s,
+		fmt.Sprintf("retrain failing (%d consecutive): %v", n, err),
+		func() error {
+			_, rerr := c.engines[s].Retrain()
+			return rerr
+		})
+}
+
+// NoteRetrainSuccess resets shard s's consecutive-failure count.
+func (c *Cluster) NoteRetrainSuccess(s int) {
+	if s < 0 || s >= len(c.engines) {
+		return
+	}
+	c.qmu.Lock()
+	c.retrainFails[s] = 0
+	c.qmu.Unlock()
+}
+
+// quarantineShard isolates shard s and starts its background rebuilder.
+// The shard's engine pointer is never replaced — lookups read it lock-free
+// — so the rebuild lands through the engine's own RCU snapshot swap
+// (Retrain/RetrainWith) and readers migrate atomically when it succeeds.
+// Reports false if the shard was already quarantined.
+func (c *Cluster) quarantineShard(s int, reason string, rebuild func() error) bool {
+	c.qmu.Lock()
+	if _, already := c.quarantined[s]; already {
+		c.qmu.Unlock()
+		return false
+	}
+	c.quarantined[s] = &shardQuarantine{reason: reason, since: time.Now()}
+	c.qmu.Unlock()
+	if c.closed.Load() {
+		return true // quarantined, but no rebuilder on a closed cluster
+	}
+	c.qwg.Add(1)
+	go c.rebuildLoop(s, rebuild)
+	return true
+}
+
+// rebuildLoop retries a quarantined shard's rebuild with exponential
+// backoff and jitter until it succeeds or the cluster closes. On success
+// the shard leaves quarantine and its failure count resets.
+func (c *Cluster) rebuildLoop(s int, rebuild func() error) {
+	defer c.qwg.Done()
+	c.qmu.Lock()
+	p := c.qpolicy
+	c.qmu.Unlock()
+	backoff := p.BaseBackoff
+	for {
+		err := rebuild()
+		if err == nil {
+			c.qmu.Lock()
+			delete(c.quarantined, s)
+			c.retrainFails[s] = 0
+			c.qmu.Unlock()
+			return
+		}
+		c.qmu.Lock()
+		if q := c.quarantined[s]; q != nil {
+			q.rebuilds++
+			q.lastErr = err.Error()
+		}
+		pause := time.Duration(float64(backoff) * (0.8 + 0.4*c.qrng.Float64()))
+		c.qmu.Unlock()
+		select {
+		case <-c.qstop:
+			return
+		case <-time.After(pause):
+		}
+		if backoff *= 2; backoff > p.MaxBackoff {
+			backoff = p.MaxBackoff
+		}
+	}
+}
+
+// Health reports the cluster's current health: Failed when closed,
+// Degraded while any shard is quarantined or accumulating retrain
+// failures, Healthy otherwise. Quarantined shards still serve correct
+// (possibly stale or slower) answers — quarantine alone never reaches
+// Failed, upholding the fail-static contract.
+func (c *Cluster) Health() Health {
+	if c.closed.Load() {
+		return Health{State: Failed, Reasons: []HealthReason{{Shard: -1, Code: "closed", Detail: "cluster closed"}}}
+	}
+	h := Health{State: Healthy}
+	c.qmu.Lock()
+	shards := make([]int, 0, len(c.quarantined))
+	for s := range c.quarantined {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	for _, s := range shards {
+		q := c.quarantined[s]
+		d := q.reason
+		if q.rebuilds > 0 {
+			d += fmt.Sprintf(" (rebuild attempts %d, last: %s)", q.rebuilds, q.lastErr)
+		}
+		h.Reasons = append(h.Reasons, HealthReason{Shard: s, Code: "shard-quarantined", Detail: d})
+	}
+	for s := 0; s < len(c.engines); s++ {
+		if n := c.retrainFails[s]; n > 0 {
+			if _, inQ := c.quarantined[s]; !inQ {
+				h.Reasons = append(h.Reasons, HealthReason{Shard: s, Code: "retrain-failing",
+					Detail: fmt.Sprintf("%d consecutive retrain failures", n)})
+			}
+		}
+	}
+	c.qmu.Unlock()
+	if len(h.Reasons) > 0 {
+		h.State = Degraded
+	}
+	return h
+}
+
+// EngineHealth summarizes a single supervised engine from its autopilot's
+// stats: Degraded while retrains or persistence are failing, Healthy
+// otherwise. (An engine has no Failed state of its own — it always serves
+// its last published snapshot.)
+func EngineHealth(st AutopilotStats) Health {
+	h := Health{State: Healthy}
+	if st.ConsecFailures > 0 {
+		h.Reasons = append(h.Reasons, HealthReason{Shard: -1, Code: "retrain-failing",
+			Detail: fmt.Sprintf("%d consecutive retrain failures: %s", st.ConsecFailures, st.LastError)})
+	}
+	if st.ConsecPersistFailures > 0 {
+		h.Reasons = append(h.Reasons, HealthReason{Shard: -1, Code: "persist-failing",
+			Detail: fmt.Sprintf("%d consecutive persist failures: %s", st.ConsecPersistFailures, st.LastPersistError)})
+	}
+	if len(h.Reasons) > 0 {
+		h.State = Degraded
+	}
+	return h
+}
+
+// newQuarantineRNG decorrelates cluster jitter RNGs like autopilotSeq
+// does for autopilots, while keeping each process run deterministic.
+func newQuarantineRNG() *rand.Rand {
+	return rand.New(rand.NewSource(0x6A09E667*autopilotSeq.Add(1) + 3))
+}

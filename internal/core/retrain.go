@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"nuevomatch/internal/faultinject"
 	"nuevomatch/internal/rules"
 )
 
@@ -85,6 +86,20 @@ type RetrainStats struct {
 // At most one Retrain may be in flight per engine; concurrent calls fail
 // with ErrRetrainInProgress.
 func (e *Engine) Retrain() (RetrainStats, error) {
+	return e.retrain(nil)
+}
+
+// RetrainWith retrains the engine in place like Retrain, but builds the
+// replacement with the given options instead of the options the engine was
+// built with. On success the engine adopts the new options for future
+// retrains. The cluster's quarantine rebuilder uses this to upgrade a
+// remainder-only fallback engine (Options{MaxISets: -1}) to a fully
+// trained one without disturbing concurrent lookups.
+func (e *Engine) RetrainWith(opts Options) (RetrainStats, error) {
+	return e.retrain(&opts)
+}
+
+func (e *Engine) retrain(opts *Options) (RetrainStats, error) {
 	var st RetrainStats
 	e.mu.Lock()
 	if e.retraining {
@@ -95,10 +110,18 @@ func (e *Engine) Retrain() (RetrainStats, error) {
 	live := e.liveRuleSetLocked()
 	st.RulesBefore = len(e.prioID)
 	st.CoverageBefore = 1 - e.updateStatsLocked().RemainderFraction
+	if opts == nil {
+		o := e.opts
+		opts = &o
+	}
 	e.mu.Unlock()
 
 	t0 := time.Now()
-	fresh, err := Build(live, e.opts)
+	var fresh *Engine
+	err := faultinject.Hit("core.retrain.build")
+	if err == nil {
+		fresh, err = Build(live, *opts)
+	}
 	st.TrainTime = time.Since(t0)
 
 	e.mu.Lock()
@@ -116,6 +139,10 @@ func (e *Engine) Retrain() (RetrainStats, error) {
 	// folded in as one bulk pass — O(journal + remainder), not O(journal ×
 	// remainder) of per-op copy-on-write — because fresh is still private:
 	// no snapshot of it is ever observed until adoptLocked publishes.
+	if err := faultinject.Hit("core.retrain.replay"); err != nil {
+		fresh.Close()
+		return st, fmt.Errorf("core: retrain replay: %w", err)
+	}
 	if err := replayJournal(fresh, journal); err != nil {
 		return st, fmt.Errorf("core: retrain replay: %w", err)
 	}
@@ -276,6 +303,7 @@ func replayJournal(fresh *Engine, journal []journalOp) error {
 // e keeps its own parPool: pooled workers carry no engine state between
 // jobs, only scratch buffers.
 func (e *Engine) adoptLocked(f *Engine) {
+	e.opts = f.opts
 	e.rs = f.rs
 	e.posID = f.posID
 	e.prioID = f.prioID

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"nuevomatch/internal/classifiers/tuplemerge"
+	"nuevomatch/internal/faultinject"
 	"nuevomatch/internal/rqrmi"
 	"nuevomatch/internal/rules"
 )
@@ -122,6 +123,9 @@ func init() { RegisterRemainder("tuplemerge", tuplemerge.Build) }
 // for the duration, so the saved image is one consistent state; lookups are
 // unaffected (they never take the lock).
 func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	if err := faultinject.Hit("core.codec.write"); err != nil {
+		return 0, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -341,6 +345,9 @@ func (c *countWriter) Write(p []byte) (int, error) {
 // before any payload decoding, so torn writes are caught up front.
 // Trailer-less version-1 artifacts are still accepted.
 func ReadEngine(r io.Reader, remainder rules.Builder) (*Engine, error) {
+	if err := faultinject.Hit("core.codec.read"); err != nil {
+		return nil, err
+	}
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading table: %w", err)

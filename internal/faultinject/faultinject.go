@@ -1,0 +1,234 @@
+// Package faultinject is a deterministic fault-injection framework for
+// tests and chaos harnesses.
+//
+// Production code declares named fault points by calling Hit (for error
+// injection) or Sleep (for latency injection) at interesting places:
+//
+//	if err := faultinject.Hit("core.cluster.save.shard"); err != nil {
+//		return err
+//	}
+//
+// When nothing is armed — the production steady state — Hit and Sleep are
+// a single atomic load and return immediately, so fault points are safe
+// to leave in hot paths. Tests arm points with Enable, providing a Rule
+// that decides deterministically (skip counts, fail counts, probability
+// under a seeded RNG) whether each visit triggers.
+//
+// The registry is process-global, like net/http/httptest servers or
+// runtime/debug settings: chaos tests that arm points must not run in
+// parallel with other tests exercising the same code paths. Reset
+// restores the zero state.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by triggered fault points.
+// Code under test can detect it with errors.Is to distinguish injected
+// faults from organic ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Rule decides when an armed fault point triggers and what it does.
+// The zero value triggers on every visit with ErrInjected.
+type Rule struct {
+	// SkipFirst visits pass through untriggered. This schedules a fault
+	// at a precise step: SkipFirst=3 arms the 4th visit.
+	SkipFirst int
+
+	// FailCount limits how many visits trigger; after that the point
+	// disarms itself. 0 means unlimited.
+	FailCount int
+
+	// Probability, if in (0,1), makes each eligible visit trigger with
+	// that probability under a rand.Rand seeded with Seed. 0 or >=1
+	// means always trigger (once past SkipFirst).
+	Probability float64
+
+	// Seed seeds the per-point RNG used by Probability. Two runs with
+	// the same schedule and seeds behave identically.
+	Seed int64
+
+	// Err is the error returned when the point triggers. nil means
+	// ErrInjected. Ignored by Sleep points.
+	Err error
+
+	// Delay, if nonzero, makes a triggered visit sleep instead of (for
+	// Hit) or in addition to nothing (for Sleep). Hit points with a
+	// Delay and a nil Err sleep and return nil — pure latency faults.
+	Delay time.Duration
+
+	// OnTrigger, if set, is invoked synchronously on every trigger —
+	// kill-point sweeps use it to panic or snapshot mid-operation.
+	OnTrigger func(name string)
+}
+
+type point struct {
+	rule      Rule
+	rng       *rand.Rand
+	visits    int // total visits since armed
+	triggered int // triggered visits since armed
+}
+
+var (
+	// armed is the fast-path gate: 0 means no points are armed anywhere
+	// and Hit/Sleep return after a single atomic load.
+	armed  atomic.Int32
+	mu     sync.Mutex
+	points map[string]*point
+)
+
+// Enable arms the named fault point with the given rule, replacing any
+// existing rule and resetting its counters.
+func Enable(name string, r Rule) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	p := &point{rule: r}
+	if r.Probability > 0 && r.Probability < 1 {
+		p.rng = rand.New(rand.NewSource(r.Seed))
+	}
+	if _, existed := points[name]; !existed {
+		armed.Add(1)
+	}
+	points[name] = p
+}
+
+// Disable disarms the named fault point. Disarming an unarmed point is
+// a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every fault point and restores the zero state.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Store(0)
+	points = nil
+}
+
+// Triggered reports how many times the named point has triggered since
+// it was armed. Returns 0 for unarmed points.
+func Triggered(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.triggered
+	}
+	return 0
+}
+
+// Visits reports how many times the named point has been visited since
+// it was armed (whether or not it triggered). Returns 0 for unarmed
+// points.
+func Visits(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.visits
+	}
+	return 0
+}
+
+// Hit visits the named fault point. If the point is unarmed (the
+// production steady state) it returns nil after one atomic load. If the
+// point's rule triggers, Hit sleeps rule.Delay (if any), runs OnTrigger
+// (if any), and returns rule.Err (ErrInjected when nil, unless the rule
+// is a pure Delay fault, which returns nil).
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	trig, r := visit(name)
+	if !trig {
+		return nil
+	}
+	if r.Delay > 0 {
+		time.Sleep(r.Delay)
+	}
+	if r.OnTrigger != nil {
+		r.OnTrigger(name)
+	}
+	if r.Err != nil {
+		return r.Err
+	}
+	if r.Delay > 0 {
+		return nil // pure latency fault
+	}
+	return ErrInjected
+}
+
+// Sleep visits the named fault point as a pure latency point: a trigger
+// sleeps rule.Delay and never returns an error. Used on hot serving
+// paths (slow-shard faults) where errors are not representable.
+func Sleep(name string) {
+	if armed.Load() == 0 {
+		return
+	}
+	trig, r := visit(name)
+	if !trig {
+		return
+	}
+	if r.Delay > 0 {
+		time.Sleep(r.Delay)
+	}
+	if r.OnTrigger != nil {
+		r.OnTrigger(name)
+	}
+}
+
+// visit advances the named point's counters under the registry lock and
+// reports whether this visit triggers, returning a copy of the rule.
+func visit(name string) (bool, Rule) {
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok {
+		return false, Rule{}
+	}
+	p.visits++
+	if p.visits <= p.rule.SkipFirst {
+		return false, Rule{}
+	}
+	if p.rule.FailCount > 0 && p.triggered >= p.rule.FailCount {
+		return false, Rule{}
+	}
+	if p.rng != nil && p.rng.Float64() >= p.rule.Probability {
+		return false, Rule{}
+	}
+	p.triggered++
+	return true, p.rule
+}
+
+// Armed reports whether any fault point is currently armed. Tests use
+// it to assert clean teardown.
+func Armed() bool {
+	return armed.Load() != 0
+}
+
+// String summarizes the armed points, for debugging chaos schedules.
+func String() string {
+	mu.Lock()
+	defer mu.Unlock()
+	if len(points) == 0 {
+		return "faultinject: disarmed"
+	}
+	s := "faultinject:"
+	for name, p := range points {
+		s += fmt.Sprintf(" %s(visits=%d,triggered=%d)", name, p.visits, p.triggered)
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoOp(t *testing.T) {
+	Reset()
+	if err := Hit("nothing.armed"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	Sleep("nothing.armed")
+	if Armed() {
+		t.Fatal("Armed() true with no points")
+	}
+}
+
+func TestAlwaysTrigger(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Rule{})
+	for i := 0; i < 3; i++ {
+		if err := Hit("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("visit %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	if got := Triggered("p"); got != 3 {
+		t.Fatalf("Triggered = %d, want 3", got)
+	}
+	if got := Visits("p"); got != 3 {
+		t.Fatalf("Visits = %d, want 3", got)
+	}
+}
+
+func TestSkipFirstAndFailCount(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Rule{SkipFirst: 2, FailCount: 1})
+	var errs []error
+	for i := 0; i < 5; i++ {
+		errs = append(errs, Hit("p"))
+	}
+	want := []bool{false, false, true, false, false}
+	for i, w := range want {
+		if (errs[i] != nil) != w {
+			t.Fatalf("visit %d: err=%v, want triggered=%v", i, errs[i], w)
+		}
+	}
+	if got := Triggered("p"); got != 1 {
+		t.Fatalf("Triggered = %d, want 1", got)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	Reset()
+	defer Reset()
+	custom := errors.New("disk on fire")
+	Enable("p", Rule{Err: custom})
+	if err := Hit("p"); !errors.Is(err, custom) {
+		t.Fatalf("got %v, want custom error", err)
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	run := func() []bool {
+		Enable("p", Rule{Probability: 0.5, Seed: 42})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Hit("p") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	var trig int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit %d diverged between identically-seeded runs", i)
+		}
+		if a[i] {
+			trig++
+		}
+	}
+	if trig == 0 || trig == len(a) {
+		t.Fatalf("probability 0.5 triggered %d/%d times", trig, len(a))
+	}
+}
+
+func TestPureDelayFault(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Rule{Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("p"); err != nil {
+		t.Fatalf("pure delay fault returned error %v", err)
+	}
+	if d := time.Since(start); d < 4*time.Millisecond {
+		t.Fatalf("delay fault slept only %v", d)
+	}
+	Sleep("p")
+	if got := Triggered("p"); got != 2 {
+		t.Fatalf("Triggered = %d, want 2", got)
+	}
+}
+
+func TestOnTrigger(t *testing.T) {
+	Reset()
+	defer Reset()
+	var fired []string
+	Enable("p", Rule{OnTrigger: func(name string) { fired = append(fired, name) }})
+	Hit("p")
+	if len(fired) != 1 || fired[0] != "p" {
+		t.Fatalf("OnTrigger fired = %v", fired)
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	Reset()
+	Enable("a", Rule{})
+	Enable("b", Rule{})
+	if !Armed() {
+		t.Fatal("Armed() false after Enable")
+	}
+	Disable("a")
+	if err := Hit("a"); err != nil {
+		t.Fatalf("disabled point triggered: %v", err)
+	}
+	if err := Hit("b"); err == nil {
+		t.Fatal("still-armed point did not trigger")
+	}
+	Reset()
+	if Armed() {
+		t.Fatal("Armed() true after Reset")
+	}
+	if err := Hit("b"); err != nil {
+		t.Fatalf("point survived Reset: %v", err)
+	}
+}

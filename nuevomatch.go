@@ -76,6 +76,37 @@ type (
 	ClusterStats = core.ClusterStats
 	// PartitionKind names a cluster partitioning strategy (ClusterStats.Kind).
 	PartitionKind = core.PartitionKind
+
+	// Health is a point-in-time serving-condition summary (Table.Health,
+	// Cluster.Health): an overall state plus machine-readable reasons.
+	Health = core.Health
+	// HealthState classifies serving condition: Healthy, Degraded, Failed.
+	HealthState = core.HealthState
+	// HealthReason is one machine-readable degradation signal (stable Code,
+	// human-readable Detail, shard index or -1).
+	HealthReason = core.HealthReason
+	// QuarantinePolicy configures when a cluster isolates a failing shard
+	// and how the background rebuilder paces retries
+	// (Cluster.SetQuarantinePolicy).
+	QuarantinePolicy = core.QuarantinePolicy
+	// FsckReport is FsckCluster's verification/repair result.
+	FsckReport = core.FsckReport
+	// FsckGeneration is one saved generation's verification verdict within
+	// an FsckReport.
+	FsckGeneration = core.FsckGeneration
+)
+
+// Health states reported by Table.Health and Cluster.Health. Degraded
+// still serves correct answers (the fail-static guarantee); Failed means
+// not serving updates (closed).
+const (
+	// Healthy: serving normally.
+	Healthy = core.Healthy
+	// Degraded: correct but needs attention (quarantined shard, failing
+	// retrains or persistence).
+	Degraded = core.Degraded
+	// Failed: closed.
+	Failed = core.Failed
 )
 
 // Cluster partitioning strategies, as reported by ClusterStats.Kind. The

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"nuevomatch/internal/core"
+	"nuevomatch/internal/faultinject"
 )
 
 // Table is the package's primary handle: a built NuevoMatch classifier with
@@ -224,8 +225,14 @@ func (t *Table) SaveFile(path string) error {
 
 // saveEngineFile is the atomic write behind SaveFile and the autopilot
 // persistence hook (which must work even while Close waits out an
-// in-flight retrain).
+// in-flight retrain). Durability is complete: the temp file is fsynced
+// before the rename, and the directory entry after it — without the
+// second sync a crash can lose the rename itself and resurface the old
+// artifact (or none) despite the write "succeeding".
 func saveEngineFile(eng *core.Engine, path string) error {
+	if err := faultinject.Hit("table.save"); err != nil {
+		return err
+	}
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -252,6 +259,22 @@ func saveEngineFile(eng *core.Engine, path string) error {
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return err
+	}
+	return syncDirEntry(dir)
+}
+
+// syncDirEntry fsyncs a directory so a just-renamed entry inside it is
+// durable. Filesystems that reject directory fsync (some network mounts)
+// are tolerated: the rename still happened, only its durability window
+// widens.
+func syncDirEntry(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
 		return err
 	}
 	return nil
@@ -316,6 +339,22 @@ func (t *Table) Retrain() (RetrainStats, error) {
 // Autopilot returns the drift supervisor attached by WithAutopilot, or nil.
 // Use it for Stats and for explicit Check-driven retrain points.
 func (t *Table) Autopilot() *Autopilot { return t.ap }
+
+// Health reports the table's serving condition. A closed table is Failed;
+// an open one is Healthy unless its autopilot is accumulating consecutive
+// retrain or persist failures, which degrade it with machine-readable
+// reasons ("retrain-failing", "persist-failing"). Degraded never implies
+// wrong answers — the fail-static guarantee means lookups keep serving the
+// last good state; it means the state may be growing stale.
+func (t *Table) Health() Health {
+	if t.closed.Load() {
+		return Health{State: Failed, Reasons: []HealthReason{{Shard: -1, Code: "closed", Detail: "table is closed"}}}
+	}
+	if t.ap == nil {
+		return Health{State: Healthy}
+	}
+	return core.EngineHealth(t.ap.Stats())
+}
 
 // Engine exposes the underlying engine for code written against the
 // pre-Table API. The pointer is stable for the table's lifetime (retrains

@@ -13,6 +13,7 @@ import (
 
 	"nuevomatch"
 	"nuevomatch/internal/classbench"
+	"nuevomatch/internal/faultinject"
 )
 
 // testRuleSet generates a deterministic ClassBench ACL with unique
@@ -379,4 +380,93 @@ func TestClosePersistsInFlightRetrain(t *testing.T) {
 		t.Fatalf("artifact persisted during Close is unloadable: %v", err)
 	}
 	loaded.Close()
+}
+
+// TestTableHealthPersistRetry proves the health surface and the persist
+// retry policy: a transient save failure is retried away invisibly, a
+// persistent one degrades the table with a persist-failing reason (the
+// in-memory swap is never undone), and recovery plus Close move the state
+// back to Healthy and finally Failed.
+func TestTableHealthPersistRetry(t *testing.T) {
+	defer faultinject.Reset()
+	rs := testRuleSet(t, 200)
+	path := filepath.Join(t.TempDir(), "health.nm")
+	table, err := nuevomatch.Open(rs,
+		nuevomatch.WithAutopilot(nuevomatch.AutopilotPolicy{
+			MaxUpdates:   20,
+			MinLiveRules: 1,
+			Interval:     -1, // Check-driven
+		}),
+		nuevomatch.WithAutopilotPersist(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer table.Close()
+	if h := table.Health(); h.State != nuevomatch.Healthy {
+		t.Fatalf("fresh table health = %v", h)
+	}
+	ap := table.Autopilot()
+
+	churn := func(base int) {
+		t.Helper()
+		for i := 0; i < 30; i++ {
+			r := rs.Rules[i]
+			r.ID = base + i
+			r.Priority = int32(2*(base+i) + 1)
+			r.Fields = append([]nuevomatch.Range(nil), r.Fields...)
+			if err := table.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// One injected save failure: the retry (default 2) absorbs it.
+	churn(100_000)
+	faultinject.Enable("table.save", faultinject.Rule{FailCount: 1})
+	if ran, err := ap.Check(); err != nil || !ran {
+		t.Fatalf("check under transient fault: ran=%v err=%v", ran, err)
+	}
+	faultinject.Reset()
+	if st := ap.Stats(); st.PersistFailures != 0 || st.PersistRetries == 0 {
+		t.Fatalf("transient fault not retried away: %+v", st)
+	}
+	if h := table.Health(); h.State != nuevomatch.Healthy {
+		t.Fatalf("health after retried persist = %v", h)
+	}
+
+	// A persistent failure exhausts the retries and degrades the table.
+	churn(200_000)
+	faultinject.Enable("table.save", faultinject.Rule{})
+	if ran, err := ap.Check(); err != nil || !ran {
+		t.Fatalf("check under persistent fault: ran=%v err=%v", ran, err)
+	}
+	faultinject.Reset()
+	if st := ap.Stats(); st.PersistFailures == 0 || st.ConsecPersistFailures == 0 {
+		t.Fatalf("persistent fault unrecorded: %+v", st)
+	}
+	h := table.Health()
+	if h.State != nuevomatch.Degraded || len(h.Reasons) != 1 || h.Reasons[0].Code != "persist-failing" {
+		t.Fatalf("health under persist failure = %v", h)
+	}
+	// Fail-static: the degraded table still answers (swap was not undone).
+	if table.Lookup(make(nuevomatch.Packet, rs.NumFields)) < -1 {
+		t.Fatal("degraded table unservable")
+	}
+
+	// Recovery: the next successful persist clears the streak.
+	churn(300_000)
+	if ran, err := ap.Check(); err != nil || !ran {
+		t.Fatalf("recovery check: ran=%v err=%v", ran, err)
+	}
+	if h := table.Health(); h.State != nuevomatch.Healthy {
+		t.Fatalf("health after recovery = %v", h)
+	}
+	if _, err := nuevomatch.LoadFile(path); err != nil {
+		t.Fatalf("persisted artifact unreadable after recovery: %v", err)
+	}
+
+	table.Close()
+	if h := table.Health(); h.State != nuevomatch.Failed {
+		t.Fatalf("closed table health = %v", h)
+	}
 }
