@@ -281,6 +281,10 @@ func (c *Cluster) RetrainShard(s int) (RetrainStats, error) {
 // NumShards returns the number of engine shards actually serving.
 func (c *Cluster) NumShards() int { return c.cc.NumShards() }
 
+// NumFields returns the dimensionality of the served rule-set — the field
+// count every Lookup packet must carry. Fixed at build time.
+func (c *Cluster) NumFields() int { return c.cc.NumFields() }
+
 // LiveRuleSet snapshots the distinct live rules across all shards (replicas
 // deduplicated) — the logical rule-set the cluster serves.
 func (c *Cluster) LiveRuleSet() *RuleSet { return c.cc.LiveRuleSet() }
@@ -347,9 +351,24 @@ func (c *Cluster) Health() Health {
 		return Health{State: Failed, Reasons: []HealthReason{{Shard: -1, Code: "closed", Detail: "cluster closed"}}}
 	}
 	h := c.cc.Health()
+	// One reason per degradation signal: a quarantined shard's consecutive
+	// retrain failures are what put it in quarantine, and the core health
+	// already reports "shard-quarantined" (with the rebuild progress) for
+	// it. Re-adding the autopilot's "retrain-failing" for the same shard
+	// would double-count the shard in any consumer that tallies reasons —
+	// exactly the mid-quarantine-rebuild window a readiness endpoint reads.
+	quarantined := make(map[int]bool, len(h.Reasons))
+	for _, r := range h.Reasons {
+		if r.Code == "shard-quarantined" {
+			quarantined[r.Shard] = true
+		}
+	}
 	for s, ap := range c.aps {
 		eh := core.EngineHealth(ap.Stats())
 		for _, r := range eh.Reasons {
+			if r.Code == "retrain-failing" && quarantined[s] {
+				continue
+			}
 			r.Shard = s
 			h.Reasons = append(h.Reasons, r)
 		}

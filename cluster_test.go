@@ -417,3 +417,76 @@ func TestClusterHealthQuarantine(t *testing.T) {
 		t.Fatalf("closed cluster health = %v", h)
 	}
 }
+
+// TestClusterHealthNoDoubleCount pins the mid-quarantine-rebuild coherence
+// window: while a shard sits in quarantine, its consecutive retrain
+// failures are the reason it is there, and Health() must report the single
+// "shard-quarantined" reason for it — not additionally the autopilot's
+// "retrain-failing" for the same shard. A readiness endpoint tallying
+// reasons would otherwise see one sick shard as two.
+func TestClusterHealthNoDoubleCount(t *testing.T) {
+	defer faultinject.Reset()
+	prof, err := classbench.ProfileByName("ipc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := classbench.Generate(prof, 200)
+	uniquePriorities(rs)
+	cluster, err := nuevomatch.OpenCluster(rs.Clone(), append(fastShardOpts2(),
+		nuevomatch.WithShards(2),
+		nuevomatch.WithClusterAutopilot(nuevomatch.AutopilotPolicy{
+			MaxUpdates:   1,
+			MinLiveRules: 1,
+			Interval:     -1, // Check-driven
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetQuarantinePolicy(nuevomatch.QuarantinePolicy{
+		FailureThreshold: 2,
+		BaseBackoff:      50 * time.Millisecond,
+		MaxBackoff:       time.Second,
+	})
+
+	// Unlimited build faults: the supervised retrains fail into quarantine
+	// and the background rebuilder keeps failing too, holding the window
+	// open while we inspect it.
+	faultinject.Enable("core.retrain.build", faultinject.Rule{})
+	r := nuevomatch.Rule{ID: 9_100_001, Priority: 20_000, Fields: fullFields(rs.NumFields)}
+	if err := cluster.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := cluster.ShardAutopilot(0).Check(); err == nil {
+			t.Fatalf("supervised retrain %d did not fail under fault", i)
+		}
+	}
+	if q := cluster.QuarantinedShards(); len(q) != 1 || q[0] != 0 {
+		t.Fatalf("QuarantinedShards = %v, want [0]", q)
+	}
+
+	h := cluster.Health()
+	if h.State != nuevomatch.Degraded {
+		t.Fatalf("health mid-quarantine = %v, want Degraded", h)
+	}
+	perShardCodes := make(map[int][]string)
+	for _, reason := range h.Reasons {
+		perShardCodes[reason.Shard] = append(perShardCodes[reason.Shard], reason.Code)
+	}
+	codes := perShardCodes[0]
+	if len(codes) != 1 || codes[0] != "shard-quarantined" {
+		t.Fatalf("shard 0 reasons = %v, want exactly [shard-quarantined]; full health: %v", codes, h)
+	}
+
+	// Lift the faults and let the rebuilder clear the quarantine so Close
+	// does not race a failing rebuild loop.
+	faultinject.Reset()
+	deadline := time.Now().Add(15 * time.Second)
+	for len(cluster.QuarantinedShards()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("quarantine never cleared: health %v", cluster.Health())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

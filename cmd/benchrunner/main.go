@@ -39,6 +39,7 @@ func main() {
 		benchjs  = flag.String("benchjson", "", "directory to write a BENCH_<name>.json perf artifact into (skips -exp)")
 		churnOps = flag.Int("churnops", 20000, "churn-experiment operations per profile recorded into the benchjson artifact (0 disables)")
 		shards   = flag.Int("shards", 2, "cluster-experiment shard count recorded into the benchjson artifact (0 disables)")
+		serveCli = flag.Int("serve", 8, "serving-experiment client count recorded into the benchjson artifact (0 disables)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		kernel   = flag.String("kernel", "auto", "rqrmi inference kernel: auto, go (pure-Go float32), asm (AVX2 assembly; errors when unsupported)")
 		minBatch = flag.Float64("minbatch", 0, "with -benchjson: exit non-zero unless batch_speedup >= this ratio (0 disables; the CI perf gate)")
@@ -80,6 +81,10 @@ func main() {
 		}
 		if err := a.AttachCluster(*shards, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		if err := a.AttachServing(*serveCli, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: serving: %v\n", err)
 			os.Exit(1)
 		}
 		path, err := analysis.WriteBenchArtifact(*benchjs, a)
@@ -127,9 +132,19 @@ func main() {
 				fmt.Printf("    health         %s (%d reasons)\n", c.Health, len(c.HealthReasons))
 			}
 		}
+		if sv := a.Serving; sv != nil {
+			fmt.Printf("  serving:         %d clients (window %d): %12.0f pps coalesced (%.2fx of direct batch), fill %.1f/%d, %d mismatches\n",
+				sv.Clients, sv.Window, sv.CoalescedPPS, sv.CoalescedVsDirect, sv.AvgBatchFill, sv.BatchSize, sv.Mismatches)
+			fmt.Printf("    e2e latency    p50 %6.0f µs  p99 %6.0f µs\n", sv.E2EP50US, sv.E2EP99US)
+		}
 		if a.BatchMismatches != 0 {
 			fmt.Fprintf(os.Stderr, "benchrunner: batched path disagreed with scalar path on %d/%d packets\n",
 				a.BatchMismatches, a.BatchVerifiedPackets)
+			os.Exit(1)
+		}
+		if a.Serving != nil && a.Serving.Mismatches != 0 {
+			fmt.Fprintf(os.Stderr, "benchrunner: serving path disagreed with the direct engine on %d/%d requests\n",
+				a.Serving.Mismatches, a.Serving.Requests)
 			os.Exit(1)
 		}
 		if *minBatch > 0 && a.BatchSpeedup < *minBatch {

@@ -34,6 +34,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -46,6 +47,7 @@ import (
 	"nuevomatch"
 	"nuevomatch/internal/classbench"
 	"nuevomatch/internal/rules"
+	"nuevomatch/internal/serve"
 	"nuevomatch/internal/trace"
 )
 
@@ -253,7 +255,9 @@ func cmdServe(args []string) {
 
 	rs := table.Engine().LiveRuleSet()
 	if *churn > 0 {
-		runChurn(table, rs, *churn, *seed, *verify)
+		ctx, stop := serve.ShutdownContext()
+		defer stop()
+		runChurn(ctx, table, rs, *churn, *seed, *verify, *persist)
 		return
 	}
 
@@ -373,7 +377,9 @@ func serveCluster(dir, tracePath string, bench bool, churn, maxUpd int, maxFrac 
 
 	rs := cluster.LiveRuleSet()
 	if churn > 0 {
-		runClusterChurn(cluster, rs, churn, seed, verify)
+		ctx, stop := serve.ShutdownContext()
+		defer stop()
+		runClusterChurn(ctx, cluster, rs, churn, seed, verify, persist)
 		return
 	}
 	var pkts []rules.Packet
@@ -421,7 +427,9 @@ type churnTarget interface {
 
 // churnCounts summarizes one churn run.
 type churnCounts struct {
+	done                                  int
 	lookups, inserts, deletes, mismatches int
+	interrupted                           bool
 	elapsed                               time.Duration
 }
 
@@ -430,8 +438,10 @@ type churnCounts struct {
 // maintaining an exact linear-reference mirror. With verify, every lookup
 // is checked against the mirror (compared by winning priority — file-loaded
 // rule-sets may carry duplicate priorities). report runs about once a
-// second with the ops completed so far and the instantaneous rate.
-func churnLoop(tgt churnTarget, mirror *rules.RuleSet, ops int, seed int64, verify bool, report func(done int, rate float64)) churnCounts {
+// second with the ops completed so far and the instantaneous rate. A
+// cancelled ctx (SIGINT/SIGTERM via serve.ShutdownContext) stops the loop
+// at the next op boundary so the caller can persist and close cleanly.
+func churnLoop(ctx context.Context, tgt churnTarget, mirror *rules.RuleSet, ops int, seed int64, verify bool, report func(done int, rate float64)) churnCounts {
 	rng := rand.New(rand.NewSource(seed))
 	prioOf := make(map[int]int32, mirror.Len())
 	for i := range mirror.Rules {
@@ -443,6 +453,15 @@ func churnLoop(tgt churnTarget, mirror *rules.RuleSet, ops int, seed int64, veri
 	lastReport := start
 	lastOps := 0
 	for op := 0; op < ops; op++ {
+		select {
+		case <-ctx.Done():
+			n.interrupted = true
+			n.done = op
+			n.elapsed = time.Since(start)
+			return n
+		default:
+		}
+		n.done = op + 1
 		switch x := rng.Float64(); {
 		case x < 0.60:
 			n.lookups++
@@ -503,9 +522,13 @@ func churnLoop(tgt churnTarget, mirror *rules.RuleSet, ops int, seed int64, veri
 
 // finishChurn prints the shared tail of a churn run and exits non-zero on
 // verification mismatches.
-func finishChurn(ops int, n churnCounts, verify bool) {
-	fmt.Printf("churn done: %d ops in %v (%.0f ops/s): %d lookups, %d inserts, %d deletes\n",
-		ops, n.elapsed.Round(time.Millisecond), float64(ops)/n.elapsed.Seconds(),
+func finishChurn(n churnCounts, verify bool) {
+	verb := "done"
+	if n.interrupted {
+		verb = "interrupted (drained cleanly)"
+	}
+	fmt.Printf("churn %s: %d ops in %v (%.0f ops/s): %d lookups, %d inserts, %d deletes\n",
+		verb, n.done, n.elapsed.Round(time.Millisecond), float64(n.done)/n.elapsed.Seconds(),
 		n.lookups, n.inserts, n.deletes)
 	if verify {
 		fmt.Printf("verification: %d mismatches over %d lookups\n", n.mismatches, n.lookups)
@@ -516,24 +539,34 @@ func finishChurn(ops int, n churnCounts, verify bool) {
 }
 
 // runClusterChurn is churn serve mode for a cluster: the shared workload
-// loop with one autopilot per shard retraining in the background.
-func runClusterChurn(c *nuevomatch.Cluster, rs *rules.RuleSet, ops int, seed int64, verify bool) {
+// loop with one autopilot per shard retraining in the background. On
+// SIGINT/SIGTERM the loop drains at an op boundary, the final state is
+// saved to persistDir (when set), and the deferred Close runs — pooled
+// workers and rebuild loops exit instead of dying mid-flight.
+func runClusterChurn(ctx context.Context, c *nuevomatch.Cluster, rs *rules.RuleSet, ops int, seed int64, verify bool, persistDir string) {
 	if c.ShardAutopilot(0) == nil {
 		fatal(fmt.Errorf("cluster churn mode requires autopilot options"))
 	}
 	fmt.Printf("churn: %d ops across %d shards, policy %+v\n", ops, c.NumShards(), c.ShardAutopilot(0).Policy())
-	n := churnLoop(c, rs.Clone(), ops, seed, verify, func(done int, rate float64) {
+	n := churnLoop(ctx, c, rs.Clone(), ops, seed, verify, func(done int, rate float64) {
 		st := c.AutopilotStats()
 		cst := c.Stats()
 		fmt.Printf("  %7d ops (%6.0f ops/s)  live %6d  shards %v  retrains %d  last swap %v  trigger %q\n",
 			done, rate, cst.LiveRules, cst.ShardRules, st.Retrains,
 			st.LastSwap.Round(time.Microsecond), st.LastTrigger)
 	})
-	if c.AutopilotStats().Retrains == 0 {
+	if !n.interrupted && c.AutopilotStats().Retrains == 0 {
 		for s := 0; s < c.NumShards(); s++ {
 			if _, err := c.ShardAutopilot(s).Check(); err != nil {
 				fatal(err)
 			}
+		}
+	}
+	if persistDir != "" {
+		if err := c.SaveDir(persistDir); err != nil {
+			fmt.Fprintf(os.Stderr, "nmctl: final persist: %v\n", err)
+		} else {
+			fmt.Printf("final persist: %s\n", persistDir)
 		}
 	}
 	st := c.AutopilotStats()
@@ -545,7 +578,7 @@ func runClusterChurn(c *nuevomatch.Cluster, rs *rules.RuleSet, ops int, seed int
 	}
 	fmt.Printf("final: live %d rules, per shard %v, %d replicated\n", cst.LiveRules, cst.ShardRules, cst.Replicated)
 	fmt.Printf("health: %s\n", c.Health())
-	finishChurn(ops, n, verify)
+	finishChurn(n, verify)
 }
 
 // cmdLegacy is the original combined mode: build in-process, then classify
@@ -595,7 +628,9 @@ func cmdLegacy(args []string) {
 	printTableStats(table)
 
 	if *churn > 0 {
-		runChurn(table, rs, *churn, *seed, *verify)
+		ctx, stop := serve.ShutdownContext()
+		defer stop()
+		runChurn(ctx, table, rs, *churn, *seed, *verify, "")
 		return
 	}
 
@@ -630,23 +665,32 @@ func classify(t *nuevomatch.Table, pkts []rules.Packet) {
 }
 
 // runChurn is the serve-style churn mode: the shared workload loop with
-// the table's autopilot retraining in the background.
-func runChurn(t *nuevomatch.Table, rs *rules.RuleSet, ops int, seed int64, verify bool) {
+// the table's autopilot retraining in the background. On SIGINT/SIGTERM
+// the loop drains at an op boundary, the final state is saved to
+// persistPath (when set), and the deferred Close runs.
+func runChurn(ctx context.Context, t *nuevomatch.Table, rs *rules.RuleSet, ops int, seed int64, verify bool, persistPath string) {
 	ap := t.Autopilot()
 	if ap == nil {
 		fatal(fmt.Errorf("churn mode requires an autopilot-configured table"))
 	}
 	fmt.Printf("churn: %d ops, policy %+v\n", ops, ap.Policy())
-	n := churnLoop(t, rs.Clone(), ops, seed, verify, func(done int, rate float64) {
+	n := churnLoop(ctx, t, rs.Clone(), ops, seed, verify, func(done int, rate float64) {
 		st := ap.Stats()
 		us := t.Updates()
 		fmt.Printf("  %7d ops (%6.0f ops/s)  live %6d  remfrac %.2f  retrains %d  last swap %v  trigger %q\n",
 			done, rate, us.LiveRules, us.RemainderFraction, st.Retrains,
 			st.LastSwap.Round(time.Microsecond), st.LastTrigger)
 	})
-	if ap.Stats().Retrains == 0 {
+	if !n.interrupted && ap.Stats().Retrains == 0 {
 		if _, err := ap.Check(); err != nil {
 			fatal(err)
+		}
+	}
+	if persistPath != "" {
+		if err := t.SaveFile(persistPath); err != nil {
+			fmt.Fprintf(os.Stderr, "nmctl: final persist: %v\n", err)
+		} else {
+			fmt.Printf("final persist: %s\n", persistPath)
 		}
 	}
 	st := ap.Stats()
@@ -658,7 +702,7 @@ func runChurn(t *nuevomatch.Table, rs *rules.RuleSet, ops int, seed int64, verif
 	}
 	fmt.Printf("final: live %d rules, remainder fraction %.2f\n", us.LiveRules, us.RemainderFraction)
 	fmt.Printf("health: %s\n", t.Health())
-	finishChurn(ops, n, verify)
+	finishChurn(n, verify)
 }
 
 func readTrace(path string, numFields int) ([]rules.Packet, error) {

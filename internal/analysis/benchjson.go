@@ -80,6 +80,12 @@ type BenchArtifact struct {
 	// same profile: per-shard and merged throughput, replication overhead,
 	// and the merged-vs-single-engine batch ratio (see docs/BENCHMARKS.md).
 	Cluster *ClusterReport `json:"cluster,omitempty"`
+
+	// Serving, when present, measures the network serving tier (nmserve's
+	// coalescing ingress) against the same engine called directly: wire
+	// overhead, batch fill under concurrent clients, and client-observed
+	// end-to-end latency (see docs/SERVING.md).
+	Serving *ServingReport `json:"serving,omitempty"`
 }
 
 // MachineInfo is the benchmark host fingerprint embedded in every artifact.

@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -442,13 +444,58 @@ func readClusterRules(data []byte) (int, []rules.Rule, error) {
 //
 // remainder overrides the shards' recorded remainder builder as in
 // ReadEngine; nil uses the registry.
+//
+// A load can race a concurrent SaveDir in the serving process (the
+// autopilot persist hook especially): by the time the loader opens the
+// generation CURRENT named, a newer save may have pruned it. Files
+// vanishing mid-load then used to surface as quarantined-fallback shards —
+// a freshly loaded cluster reporting Degraded health (and serving slow
+// remainder-only fallbacks with a background rebuild) for what is really a
+// retryable race, not corruption. LoadClusterDir now detects the window —
+// an artifact missing from disk while CURRENT has moved to a different
+// generation — and retries against the new generation, so readiness
+// derived from Health() never lies about a cleanly saved cluster.
 func LoadClusterDir(dir string, remainder rules.Builder) (*Cluster, error) {
+	const maxStaleRetries = 3
+	for attempt := 0; ; attempt++ {
+		c, err := loadClusterGen(dir, remainder)
+		if err == nil || !errors.Is(err, errStaleGeneration) || attempt >= maxStaleRetries {
+			return c, err
+		}
+	}
+}
+
+// errStaleGeneration reports that the generation being loaded disappeared
+// mid-load because a concurrent SaveDir pruned it; CURRENT names a newer
+// generation and the load should be retried against it.
+var errStaleGeneration = errors.New("core: generation pruned during load")
+
+// loadClusterGen is one load attempt against whatever generation CURRENT
+// names right now. Artifacts missing from disk are classified: if CURRENT
+// still names the generation they belong to, the absence is real damage
+// (quarantine or failure, as documented on LoadClusterDir); if CURRENT has
+// moved on, the attempt fails with errStaleGeneration so the caller
+// retries.
+func loadClusterGen(dir string, remainder rules.Builder) (*Cluster, error) {
 	gdir, err := ClusterCurrentDir(dir)
 	if err != nil {
 		return nil, err
 	}
+	// superseded reports whether a missing-file error is the pruning race:
+	// the artifact's generation is gone AND the CURRENT pointer already
+	// names a different one.
+	superseded := func(err error) bool {
+		if !errors.Is(err, fs.ErrNotExist) {
+			return false
+		}
+		cur, cerr := ClusterCurrentDir(dir)
+		return cerr == nil && cur != gdir
+	}
 	data, err := os.ReadFile(filepath.Join(gdir, ClusterManifestName))
 	if err != nil {
+		if superseded(err) {
+			return nil, fmt.Errorf("%w (manifest %s)", errStaleGeneration, gdir)
+		}
 		return nil, err
 	}
 	m, err := readClusterManifest(data)
@@ -461,7 +508,11 @@ func LoadClusterDir(dir string, remainder rules.Builder) (*Cluster, error) {
 	var artRules []rules.Rule
 	artFields := 0
 	if m.Rules != "" {
-		if blob, rerr := os.ReadFile(filepath.Join(gdir, m.Rules)); rerr == nil {
+		blob, rerr := os.ReadFile(filepath.Join(gdir, m.Rules))
+		if rerr != nil && superseded(rerr) {
+			return nil, fmt.Errorf("%w (rules artifact %s)", errStaleGeneration, gdir)
+		}
+		if rerr == nil {
 			if nf, rs, derr := readClusterRules(blob); derr == nil {
 				artFields, artRules = nf, rs
 			}
@@ -495,6 +546,10 @@ func LoadClusterDir(dir string, remainder rules.Builder) (*Cluster, error) {
 	for s, name := range m.Shards {
 		eng, lerr := readShardFile(filepath.Join(gdir, name), remainder)
 		if lerr != nil {
+			if superseded(lerr) {
+				closeAll()
+				return nil, fmt.Errorf("%w (shard %d of %s)", errStaleGeneration, s, gdir)
+			}
 			if artRules == nil {
 				closeAll()
 				return nil, fmt.Errorf("core: loading shard %d (%s): %w", s, name, lerr)

@@ -479,6 +479,14 @@ func (e *Engine) drainParPool() {
 	}
 }
 
+// NumFields returns the dimensionality of the served rule-set. It is fixed
+// at build time; retrains never change it.
+func (e *Engine) NumFields() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rs.NumFields
+}
+
 // Close releases the engine's pooled background workers and stops the pool
 // from re-filling: lookups on any path remain safe after Close (the
 // published snapshot is immutable and LookupBatchParallel spawns transient

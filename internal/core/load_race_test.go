@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nuevomatch/internal/classbench"
+	"nuevomatch/internal/faultinject"
+)
+
+// TestLoadClusterDirRacingPrune pins the load-vs-prune coherence window:
+// a LoadClusterDir stalled mid-load while two concurrent SaveDirs prune its
+// generation must NOT stand up quarantined fallback shards (a Degraded
+// readiness lie over a perfectly healthy directory) — it must retry against
+// the new CURRENT and come up Healthy with correct lookups.
+func TestLoadClusterDirRacingPrune(t *testing.T) {
+	defer faultinject.Reset()
+	prof, err := classbench.ProfileByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := driftedCluster(t, prof, 2, 20, 41)
+	dir := t.TempDir()
+	if err := d.c.SaveDir(dir); err != nil {
+		t.Fatal(err) // gen-1: the generation the racing load will start on
+	}
+
+	// Stall the loader inside its first shard read until the generation it
+	// is reading has been pruned out from under it.
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	faultinject.Enable("core.cluster.load.shard", faultinject.Rule{
+		Delay: time.Microsecond,
+		OnTrigger: func(string) {
+			once.Do(func() {
+				close(entered)
+				<-gate
+			})
+		},
+	})
+
+	type loadResult struct {
+		c   *Cluster
+		err error
+	}
+	resCh := make(chan loadResult, 1)
+	go func() {
+		c, lerr := LoadClusterDir(dir, nil)
+		resCh <- loadResult{c, lerr}
+	}()
+	<-entered
+
+	// Two more saves: pruning keeps current + predecessor, so gen-1 — the
+	// generation the stalled load is reading — is deleted.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 5; j++ {
+			d.step()
+		}
+		if err := d.c.SaveDir(dir); err != nil {
+			t.Fatalf("racing save %d: %v", i, err)
+		}
+	}
+	if gens, _, err := listGenerations(dir); err != nil || len(gens) != 2 || gens[0] != 2 {
+		t.Fatalf("prune did not run as expected: gens %v, err %v", gens, err)
+	}
+	close(gate)
+
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("LoadClusterDir racing prune = %v, want a clean retried load", res.err)
+	}
+	defer res.c.Close()
+	if h := res.c.Health(); h.State != Healthy {
+		t.Fatalf("health after racing load = %v, want Healthy — readiness must not lie", h)
+	}
+	if q := res.c.QuarantinedShards(); len(q) != 0 {
+		t.Fatalf("racing load quarantined shards %v over an intact directory", q)
+	}
+
+	// The retried load picked up the latest generation: lookups must agree
+	// with the mirror that produced it.
+	mm := 0
+	for i := 0; i < 300; i++ {
+		p := d.packet()
+		if res.c.Lookup(p) != d.mirror.MatchID(p) {
+			mm++
+		}
+	}
+	if mm != 0 {
+		t.Fatalf("%d lookup mismatches against the post-save mirror", mm)
+	}
+}

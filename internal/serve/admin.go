@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+
+	"nuevomatch/internal/core"
+)
+
+// adminMux wires the admin plane:
+//
+//	GET  /healthz — liveness: 200 while the process serves at all.
+//	GET  /readyz  — readiness: 503 when draining or the backend is Failed;
+//	                200 otherwise, with degradation reasons in the body so
+//	                a Degraded backend is ready-but-flagged, never lied
+//	                about.
+//	GET  /metrics — Prometheus text exposition (see metrics.go).
+//	POST /reload  — hot table reload via the configured Reload hook.
+func (s *Server) adminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		h := s.Backend().Health()
+		switch h.State {
+		case core.Failed:
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "failed")
+			for _, reason := range h.Reasons {
+				fmt.Fprintf(w, "shard=%d code=%s %s\n", reason.Shard, reason.Code, reason.Detail)
+			}
+		case core.Degraded:
+			fmt.Fprintln(w, "ready (degraded)")
+			for _, reason := range h.Reasons {
+				fmt.Fprintf(w, "shard=%d code=%s %s\n", reason.Shard, reason.Code, reason.Detail)
+			}
+		default:
+			fmt.Fprintln(w, "ready")
+		}
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.writePrometheus(w)
+	})
+	mux.HandleFunc("POST /reload", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Reload(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, "reloaded")
+	})
+	return mux
+}

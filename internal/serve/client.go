@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"net"
+
+	"nuevomatch/internal/rules"
+)
+
+// Client is a minimal data-plane client for the nmserve protocol. It
+// supports pipelining: Send any number of requests (buffered), Flush, then
+// Recv the responses; or use Classify for one-at-a-time convenience.
+// A Client is not safe for concurrent use — run one per goroutine.
+type Client struct {
+	nc        net.Conn
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	numFields int
+	reqBuf    []byte
+}
+
+// Dial connects to a server's data-plane address and consumes the
+// handshake.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 16<<10),
+		bw: bufio.NewWriterSize(nc, 16<<10),
+	}
+	nf, err := readHandshake(c.br)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	c.numFields = nf
+	c.reqBuf = make([]byte, reqFrameLen(nf))
+	return c, nil
+}
+
+// NumFields is the packet dimensionality the server expects.
+func (c *Client) NumFields() int { return c.numFields }
+
+// Send buffers one request frame. seq is echoed back by the server; pkt
+// must carry exactly NumFields values.
+func (c *Client) Send(seq uint32, pkt rules.Packet) error {
+	binary.LittleEndian.PutUint32(c.reqBuf[0:4], seq)
+	for i := 0; i < c.numFields; i++ {
+		binary.LittleEndian.PutUint32(c.reqBuf[4+4*i:], pkt[i])
+	}
+	_, err := c.bw.Write(c.reqBuf)
+	return err
+}
+
+// Flush pushes buffered requests to the wire.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Recv reads one response frame, returning the echoed sequence number and
+// the matched rule ID (rules.NoMatch when nothing matched).
+func (c *Client) Recv() (seq uint32, id int, err error) {
+	var b [respFrameLen]byte
+	if _, err = io.ReadFull(c.br, b[:]); err != nil {
+		return 0, 0, err
+	}
+	seq = binary.LittleEndian.Uint32(b[0:4])
+	id = int(int32(binary.LittleEndian.Uint32(b[4:8])))
+	return seq, id, nil
+}
+
+// Classify sends one packet and waits for its answer — the synchronous,
+// non-pipelined convenience path.
+func (c *Client) Classify(pkt rules.Packet) (int, error) {
+	if err := c.Send(0, pkt); err != nil {
+		return 0, err
+	}
+	if err := c.Flush(); err != nil {
+		return 0, err
+	}
+	_, id, err := c.Recv()
+	return id, err
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.nc.Close() }

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"time"
+
+	"nuevomatch/internal/rules"
+)
+
+// dispatch is the single consumer of the ingress queue. It blocks for the
+// first request of a batch, then tops the batch up until it is full or the
+// coalescing deadline (MaxDelay) expires, issues one LookupBatch against a
+// backend handle pinned for the whole batch, and fans the results back —
+// one buffered write per response, one flush per touched connection.
+//
+// When Shutdown closes the queue the `ok` receive drains every buffered
+// request first (closed-channel semantics), so the drain guarantee falls
+// out of the normal loop: everything enqueued before the close is answered.
+func (s *Server) dispatch() {
+	defer s.dispWG.Done()
+
+	B := s.cfg.BatchSize
+	reqs := make([]*request, 0, B)
+	pkts := make([]rules.Packet, B)
+	out := make([]int, B)
+	touched := make([]*conn, 0, B)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var batchSeq uint64
+
+	for {
+		r, ok := <-s.reqCh
+		if !ok {
+			return
+		}
+		reqs = append(reqs, r)
+		timer.Reset(s.cfg.MaxDelay)
+	fill:
+		for len(reqs) < B {
+			select {
+			case r, ok := <-s.reqCh:
+				if !ok {
+					break fill
+				}
+				reqs = append(reqs, r)
+			case <-timer.C:
+				break fill
+			}
+		}
+		// Standard timer hygiene: if the fill loop exited without the timer
+		// firing, stop it and drain any concurrent expiry.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+
+		n := len(reqs)
+		for i, r := range reqs {
+			pkts[i] = r.pkt
+		}
+		// Pin one backend handle for the whole batch: a concurrent Reload
+		// swap never tears a batch, and the old handle stays valid even
+		// after its Close (fail-static lookup guarantee).
+		backend := s.backend.Load().b
+		backend.LookupBatch(pkts[:n], out[:n])
+
+		batchSeq++
+		touched = touched[:0]
+		now := time.Now()
+		for i, r := range reqs {
+			if err := r.c.writeResult(r.seq, out[i]); err != nil {
+				s.metrics.WriteErrors.Add(1)
+			} else {
+				s.metrics.ResponsesTotal.Add(1)
+			}
+			if r.c.touch != batchSeq {
+				r.c.touch = batchSeq
+				touched = append(touched, r.c)
+			}
+			s.metrics.observeLatency(float64(now.Sub(r.enq)) / float64(time.Microsecond))
+			s.metrics.Inflight.Add(-1)
+			r.c = nil
+			s.pool.Put(r)
+		}
+		for _, c := range touched {
+			if err := c.flush(); err != nil {
+				s.metrics.WriteErrors.Add(1)
+			}
+		}
+		s.metrics.BatchesTotal.Add(1)
+		s.metrics.BatchFillSum.Add(uint64(n))
+		reqs = reqs[:0]
+	}
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"nuevomatch/internal/core"
+)
+
+// latencyBounds are the coalesce-latency histogram bucket upper bounds in
+// microseconds: the interesting band runs from "well under one coalescing
+// deadline" to "something is badly stalled".
+var latencyBounds = [...]float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000}
+
+// Metrics is the serving tier's hand-rolled metric set. All fields are
+// plain atomics — no dependencies — and are exported as Prometheus text
+// format by WritePrometheus. Counters only ever increase; gauges are
+// snapshots.
+type Metrics struct {
+	ConnectionsTotal atomic.Uint64 // accepted connections, lifetime
+	ActiveConns      atomic.Int64  // currently open connections
+	RequestsTotal    atomic.Uint64 // request frames decoded
+	ResponsesTotal   atomic.Uint64 // response frames written
+	ReadErrors       atomic.Uint64 // reader-loop failures (excl. clean EOF)
+	WriteErrors      atomic.Uint64 // response write/flush failures
+	BatchesTotal     atomic.Uint64 // LookupBatch calls issued
+	BatchFillSum     atomic.Uint64 // sum of batch sizes; fill = sum/batches
+	Inflight         atomic.Int64  // requests enqueued but not yet answered
+	Reloads          atomic.Uint64 // successful backend swaps
+	ReloadFailures   atomic.Uint64 // rejected/failed reload attempts
+
+	// Coalesce latency histogram: enqueue→response-written, microseconds.
+	latCount   atomic.Uint64
+	latSumUS   atomic.Uint64
+	latBuckets [len(latencyBounds)]atomic.Uint64
+}
+
+// observeLatency records one end-to-end request latency in microseconds.
+func (m *Metrics) observeLatency(us float64) {
+	m.latCount.Add(1)
+	m.latSumUS.Add(uint64(us))
+	for i, b := range latencyBounds {
+		if us <= b {
+			m.latBuckets[i].Add(1)
+			break
+		}
+	}
+}
+
+// MetricsSnapshot is a consistent-enough point-in-time copy of the serving
+// metrics, for tests and the bench harness. Latency quantiles are
+// interpolated from the histogram.
+type MetricsSnapshot struct {
+	ConnectionsTotal uint64
+	ActiveConns      int64
+	RequestsTotal    uint64
+	ResponsesTotal   uint64
+	ReadErrors       uint64
+	WriteErrors      uint64
+	BatchesTotal     uint64
+	BatchFillSum     uint64
+	Inflight         int64
+	Reloads          uint64
+	ReloadFailures   uint64
+	LatencyCount     uint64
+	LatencyMeanUS    float64
+	LatencyP50US     float64
+	LatencyP99US     float64
+}
+
+// AvgBatchFill is the mean number of requests per issued batch.
+func (s MetricsSnapshot) AvgBatchFill() float64 {
+	if s.BatchesTotal == 0 {
+		return 0
+	}
+	return float64(s.BatchFillSum) / float64(s.BatchesTotal)
+}
+
+// quantile interpolates quantile q (0..1) from the bucket counts, assuming
+// uniform mass inside each bucket. Overflow mass is pinned at the last bound.
+func (m *Metrics) quantile(q float64) float64 {
+	total := m.latCount.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	lo := 0.0
+	for i := range latencyBounds {
+		n := float64(m.latBuckets[i].Load())
+		if cum+n >= target && n > 0 {
+			frac := (target - cum) / n
+			return lo + frac*(latencyBounds[i]-lo)
+		}
+		cum += n
+		lo = latencyBounds[i]
+	}
+	return latencyBounds[len(latencyBounds)-1]
+}
+
+func (m *Metrics) snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		ConnectionsTotal: m.ConnectionsTotal.Load(),
+		ActiveConns:      m.ActiveConns.Load(),
+		RequestsTotal:    m.RequestsTotal.Load(),
+		ResponsesTotal:   m.ResponsesTotal.Load(),
+		ReadErrors:       m.ReadErrors.Load(),
+		WriteErrors:      m.WriteErrors.Load(),
+		BatchesTotal:     m.BatchesTotal.Load(),
+		BatchFillSum:     m.BatchFillSum.Load(),
+		Inflight:         m.Inflight.Load(),
+		Reloads:          m.Reloads.Load(),
+		ReloadFailures:   m.ReloadFailures.Load(),
+		LatencyCount:     m.latCount.Load(),
+		LatencyP50US:     m.quantile(0.50),
+		LatencyP99US:     m.quantile(0.99),
+	}
+	if s.LatencyCount > 0 {
+		s.LatencyMeanUS = float64(m.latSumUS.Load()) / float64(s.LatencyCount)
+	}
+	return s
+}
+
+// Optional backend capabilities surfaced in /metrics when present. The
+// public nuevomatch.Cluster satisfies all three; nuevomatch.Table the first
+// (its Stats() returns build stats, not core.ClusterStats, so the cluster
+// assertion cleanly fails).
+type autopilotStatser interface {
+	AutopilotStats() core.AutopilotStats
+}
+type clusterStatser interface {
+	Stats() core.ClusterStats
+}
+type quarantineLister interface {
+	QuarantinedShards() []int
+}
+
+// writePrometheus renders the full exposition: serving metrics, health
+// state/reasons, and whatever autopilot/cluster stats the backend offers.
+func (s *Server) writePrometheus(w io.Writer) {
+	m := &s.metrics
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	counter := func(name, help string, v uint64) {
+		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		p("# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("nmserve_connections_total", "Accepted data-plane connections.", m.ConnectionsTotal.Load())
+	gauge("nmserve_active_connections", "Currently open data-plane connections.", m.ActiveConns.Load())
+	counter("nmserve_requests_total", "Classification requests received.", m.RequestsTotal.Load())
+	counter("nmserve_responses_total", "Classification responses written.", m.ResponsesTotal.Load())
+	counter("nmserve_read_errors_total", "Connection read failures.", m.ReadErrors.Load())
+	counter("nmserve_write_errors_total", "Response write failures.", m.WriteErrors.Load())
+	counter("nmserve_batches_total", "Coalesced inference batches issued.", m.BatchesTotal.Load())
+	counter("nmserve_batch_fill_sum", "Sum of requests across issued batches.", m.BatchFillSum.Load())
+	gauge("nmserve_inflight_requests", "Requests enqueued but not yet answered.", m.Inflight.Load())
+	gauge("nmserve_queue_depth", "Requests sitting in the ingress queue.", int64(len(s.reqCh)))
+	counter("nmserve_reloads_total", "Successful backend hot reloads.", m.Reloads.Load())
+	counter("nmserve_reload_failures_total", "Failed or rejected reload attempts.", m.ReloadFailures.Load())
+
+	if b := m.BatchesTotal.Load(); b > 0 {
+		p("# HELP nmserve_batch_fill_ratio Mean batch fill over the configured batch size.\n# TYPE nmserve_batch_fill_ratio gauge\nnmserve_batch_fill_ratio %g\n",
+			float64(m.BatchFillSum.Load())/float64(b)/float64(s.cfg.BatchSize))
+	}
+
+	// Latency histogram, Prometheus-cumulative, in seconds.
+	p("# HELP nmserve_request_duration_seconds Enqueue-to-response latency.\n# TYPE nmserve_request_duration_seconds histogram\n")
+	var cum uint64
+	for i, b := range latencyBounds {
+		cum += m.latBuckets[i].Load()
+		p("nmserve_request_duration_seconds_bucket{le=\"%g\"} %d\n", b/1e6, cum)
+	}
+	p("nmserve_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.latCount.Load())
+	p("nmserve_request_duration_seconds_sum %g\n", float64(m.latSumUS.Load())/1e6)
+	p("nmserve_request_duration_seconds_count %d\n", m.latCount.Load())
+
+	// Health over the wire: numeric state plus one labelled count per
+	// distinct reason code.
+	backend := s.Backend()
+	h := backend.Health()
+	p("# HELP nmserve_health_state Backend health (0 healthy, 1 degraded, 2 failed).\n# TYPE nmserve_health_state gauge\nnmserve_health_state %d\n", int(h.State))
+	if len(h.Reasons) > 0 {
+		p("# HELP nmserve_health_reasons Current health reasons by code.\n# TYPE nmserve_health_reasons gauge\n")
+		byCode := map[string]int{}
+		for _, r := range h.Reasons {
+			byCode[r.Code]++
+		}
+		for code, n := range byCode {
+			p("nmserve_health_reasons{code=%q} %d\n", code, n)
+		}
+	}
+
+	if ap, ok := backend.(autopilotStatser); ok {
+		st := ap.AutopilotStats()
+		counter("nmserve_autopilot_checks_total", "Autopilot drift checks.", uint64(st.Checks))
+		counter("nmserve_autopilot_retrains_total", "Autopilot retrains completed.", uint64(st.Retrains))
+		counter("nmserve_autopilot_failures_total", "Autopilot retrain failures.", uint64(st.Failures))
+		counter("nmserve_autopilot_persist_failures_total", "Autopilot persist failures.", uint64(st.PersistFailures))
+		gauge("nmserve_autopilot_consec_failures", "Consecutive retrain failures.", int64(st.ConsecFailures))
+	}
+	if cs, ok := backend.(clusterStatser); ok {
+		st := cs.Stats()
+		gauge("nmserve_cluster_shards", "Shards in the served cluster.", int64(st.Shards))
+		gauge("nmserve_cluster_live_rules", "Live rules across all shards.", int64(st.LiveRules))
+		gauge("nmserve_cluster_replicated_rules", "Rules replicated to multiple shards.", int64(st.Replicated))
+	}
+	if ql, ok := backend.(quarantineLister); ok {
+		gauge("nmserve_cluster_quarantined_shards", "Shards currently serving quarantined fallbacks.", int64(len(ql.QuarantinedShards())))
+	}
+}

@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nuevomatch/internal/core"
+	"nuevomatch/internal/rules"
+)
+
+// Backend is what the serving tier classifies against. Both public engine
+// types satisfy it — *nuevomatch.Table and *nuevomatch.Cluster — because the
+// root package re-exports core/rules types as aliases. LookupBatch and
+// Health must be safe for concurrent use (they are: RCU snapshots).
+type Backend interface {
+	// NumFields is the packet dimensionality; fixed for a backend's life.
+	NumFields() int
+	// LookupBatch classifies pkts[i] into out[i] (rule ID or rules.NoMatch).
+	LookupBatch(pkts []rules.Packet, out []int)
+	// Health reports the backend's current serving health.
+	Health() core.Health
+}
+
+// Config tunes a Server. Zero values select the defaults shown.
+type Config struct {
+	// Listen is the data-plane TCP address ("127.0.0.1:9090"; ":0" for
+	// an ephemeral port).
+	Listen string
+	// Admin is the HTTP admin address for /healthz, /readyz, /metrics and
+	// /reload. Empty disables the admin plane.
+	Admin string
+	// BatchSize caps how many requests one inference batch carries.
+	// Default 128 — the engine's native wide-batch size.
+	BatchSize int
+	// MaxDelay bounds how long the dispatcher waits to top up a partial
+	// batch before flushing it. Default 50µs.
+	MaxDelay time.Duration
+	// QueueDepth bounds the ingress MPSC queue. Default 4096.
+	QueueDepth int
+	// Reload, when set, produces a fresh Backend for hot table reloads
+	// (admin POST /reload, or SIGHUP in cmd/nmserve). The new backend must
+	// have the same NumFields; the old one is Closed after the swap.
+	Reload func() (Backend, error)
+}
+
+func (c *Config) fill() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 128
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 50 * time.Microsecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+}
+
+// backendBox wraps the Backend interface in a concrete type so it can live
+// in an atomic.Pointer.
+type backendBox struct{ b Backend }
+
+// request is one in-flight classification, pooled to keep the steady-state
+// ingress allocation-free.
+type request struct {
+	c   *conn
+	seq uint32
+	pkt rules.Packet
+	enq time.Time
+}
+
+// conn is one accepted data-plane connection.
+type conn struct {
+	nc net.Conn
+	// wmu serializes response writes; the dispatcher and (rarely) an error
+	// path both write.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	// dead marks a connection whose writer failed; further responses to it
+	// are dropped rather than written.
+	dead atomic.Bool
+	// touch is dispatcher-private: the batch sequence number that last
+	// queued a response to this conn, used to flush each touched conn once
+	// per batch without a set allocation.
+	touch uint64
+}
+
+// writeResult appends one response frame to the connection's buffer.
+func (c *conn) writeResult(seq uint32, id int) error {
+	if c.dead.Load() {
+		return net.ErrClosed
+	}
+	var b [respFrameLen]byte
+	binary.LittleEndian.PutUint32(b[0:4], seq)
+	binary.LittleEndian.PutUint32(b[4:8], uint32(int32(id)))
+	c.wmu.Lock()
+	_, err := c.bw.Write(b[:])
+	c.wmu.Unlock()
+	if err != nil {
+		c.dead.Store(true)
+	}
+	return err
+}
+
+func (c *conn) flush() error {
+	if c.dead.Load() {
+		return net.ErrClosed
+	}
+	c.wmu.Lock()
+	err := c.bw.Flush()
+	c.wmu.Unlock()
+	if err != nil {
+		c.dead.Store(true)
+	}
+	return err
+}
+
+// Server is the batch-coalescing classification service. Create with New,
+// then Start; Shutdown drains in-flight work before returning.
+type Server struct {
+	cfg       Config
+	backend   atomic.Pointer[backendBox]
+	numFields int
+	metrics   Metrics
+
+	reqCh chan *request
+	pool  sync.Pool
+
+	ln       net.Listener
+	admin    *http.Server
+	adminLn  net.Listener
+	quit     chan struct{}
+	draining atomic.Bool
+	started  bool
+
+	connMu sync.Mutex
+	conns  map[*conn]struct{}
+
+	connWG sync.WaitGroup
+	dispWG sync.WaitGroup
+
+	// reloadMu serializes Reload calls so concurrent swaps cannot close a
+	// backend that another reload just installed.
+	reloadMu sync.Mutex
+}
+
+// New builds a Server around b. Call Start to begin accepting.
+func New(b Backend, cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:       cfg,
+		numFields: b.NumFields(),
+		reqCh:     make(chan *request, cfg.QueueDepth),
+		quit:      make(chan struct{}),
+		conns:     make(map[*conn]struct{}),
+	}
+	s.backend.Store(&backendBox{b})
+	s.pool.New = func() any {
+		return &request{pkt: make(rules.Packet, s.numFields)}
+	}
+	return s
+}
+
+// Backend returns the currently served backend.
+func (s *Server) Backend() Backend { return s.backend.Load().b }
+
+// SetBackend atomically swaps the served backend and returns the previous
+// one. The caller owns closing the old backend; in-flight batches pinned
+// the old handle and remain valid (lookups survive Close by design).
+func (s *Server) SetBackend(b Backend) Backend {
+	old := s.backend.Swap(&backendBox{b})
+	return old.b
+}
+
+// Reload invokes the configured Reload hook, validates the replacement,
+// swaps it in, and closes the previous backend. Safe to call concurrently;
+// calls are serialized.
+func (s *Server) Reload() error {
+	if s.cfg.Reload == nil {
+		s.metrics.ReloadFailures.Add(1)
+		return errors.New("serve: no reload hook configured")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	nb, err := s.cfg.Reload()
+	if err != nil {
+		s.metrics.ReloadFailures.Add(1)
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	if nf := nb.NumFields(); nf != s.numFields {
+		s.metrics.ReloadFailures.Add(1)
+		if cl, ok := nb.(interface{ Close() error }); ok {
+			cl.Close()
+		}
+		return fmt.Errorf("serve: reload rejected: new backend has %d fields, serving %d", nf, s.numFields)
+	}
+	old := s.SetBackend(nb)
+	s.metrics.Reloads.Add(1)
+	// Closing immediately is safe: batches that pinned the old handle keep
+	// working because lookups remain valid after Close.
+	if cl, ok := old.(interface{ Close() error }); ok {
+		cl.Close()
+	}
+	return nil
+}
+
+// Start binds the data-plane listener (and admin server, if configured) and
+// launches the acceptor and dispatcher goroutines.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Listen)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.cfg.Admin != "" {
+		aln, err := net.Listen("tcp", s.cfg.Admin)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.adminLn = aln
+		s.admin = &http.Server{Handler: s.adminMux()}
+		go s.admin.Serve(aln)
+	}
+	s.started = true
+	s.dispWG.Add(1)
+	go s.dispatch()
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr is the bound data-plane address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// AdminAddr is the bound admin address, or nil when disabled.
+func (s *Server) AdminAddr() net.Addr {
+	if s.adminLn == nil {
+		return nil
+	}
+	return s.adminLn.Addr()
+}
+
+// MetricsSnapshot returns a point-in-time copy of the serving metrics.
+func (s *Server) MetricsSnapshot() MetricsSnapshot { return s.metrics.snapshot() }
+
+func (s *Server) acceptLoop() {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			// Listener closed during shutdown, or transient accept error.
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		if s.draining.Load() {
+			nc.Close()
+			continue
+		}
+		c := &conn{nc: nc, bw: bufio.NewWriterSize(nc, 16<<10)}
+		s.connMu.Lock()
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		s.metrics.ConnectionsTotal.Add(1)
+		s.metrics.ActiveConns.Add(1)
+		s.connWG.Add(1)
+		go s.readLoop(c)
+	}
+}
+
+// readLoop is the per-connection ingress: handshake, then decode fixed
+// frames and push them into the coalescing queue until EOF or shutdown.
+func (s *Server) readLoop(c *conn) {
+	defer func() {
+		s.metrics.ActiveConns.Add(-1)
+		if !s.draining.Load() {
+			// Normal client departure: EOF means the client read everything
+			// it asked for, so the socket can go. During a drain the conn
+			// stays registered — Shutdown flushes the dispatcher's final
+			// responses into it before closing.
+			s.connMu.Lock()
+			delete(s.conns, c)
+			s.connMu.Unlock()
+			c.nc.Close()
+		}
+		s.connWG.Done()
+	}()
+	if err := writeHandshake(c.nc, s.numFields); err != nil {
+		return
+	}
+	frame := make([]byte, reqFrameLen(s.numFields))
+	br := bufio.NewReaderSize(c.nc, 16<<10)
+	for {
+		if _, err := io.ReadFull(br, frame); err != nil {
+			// Clean EOF at a frame boundary is a normal client departure.
+			if !errors.Is(err, io.EOF) && !s.draining.Load() {
+				s.metrics.ReadErrors.Add(1)
+			}
+			// The connection stays open (and in s.conns) until shutdown or
+			// client close so late responses from in-flight batches can
+			// still be written; closing the socket here would race them.
+			return
+		}
+		req := s.pool.Get().(*request)
+		req.c = c
+		req.seq = binary.LittleEndian.Uint32(frame[0:4])
+		for i := 0; i < s.numFields; i++ {
+			req.pkt[i] = binary.LittleEndian.Uint32(frame[4+4*i:])
+		}
+		req.enq = time.Now()
+		s.metrics.RequestsTotal.Add(1)
+		s.metrics.Inflight.Add(1)
+		select {
+		case s.reqCh <- req:
+		case <-s.quit:
+			s.metrics.Inflight.Add(-1)
+			s.pool.Put(req)
+			return
+		}
+	}
+}
+
+// Shutdown drains the server: stop accepting, unblock the readers, let the
+// dispatcher answer everything already queued, flush and close every
+// connection, then stop the admin plane. ctx bounds the wait; on expiry
+// connections are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.started {
+		return nil
+	}
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil // already shut down (or shutting down concurrently)
+	}
+	close(s.quit)
+	s.ln.Close()
+
+	// Unblock readers parked in ReadFull so connWG can drain.
+	now := time.Now()
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.nc.SetReadDeadline(now)
+	}
+	s.connMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(s.reqCh) // dispatcher drains buffered requests, then exits
+		s.dispWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	// Flush whatever the dispatcher wrote, then tear the sockets down.
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.flush()
+		c.nc.Close()
+		delete(s.conns, c)
+	}
+	s.connMu.Unlock()
+
+	if s.admin != nil {
+		actx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		s.admin.Shutdown(actx)
+	}
+	return err
+}

@@ -1,0 +1,357 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nuevomatch/internal/core"
+	"nuevomatch/internal/rules"
+	"nuevomatch/internal/serve"
+)
+
+// fakeBackend classifies by formula (sum of fields) so tests can verify
+// responses without a trained engine, and exposes a settable health state.
+type fakeBackend struct {
+	fields int
+	state  atomic.Int32
+	reason atomic.Pointer[core.HealthReason]
+	closed atomic.Bool
+}
+
+func newFake(fields int) *fakeBackend { return &fakeBackend{fields: fields} }
+
+func (f *fakeBackend) NumFields() int { return f.fields }
+
+func (f *fakeBackend) LookupBatch(pkts []rules.Packet, out []int) {
+	for i, p := range pkts {
+		sum := 0
+		for _, v := range p {
+			sum += int(v)
+		}
+		out[i] = sum
+	}
+}
+
+func (f *fakeBackend) Health() core.Health {
+	h := core.Health{State: core.HealthState(f.state.Load())}
+	if r := f.reason.Load(); r != nil {
+		h.Reasons = append(h.Reasons, *r)
+	}
+	return h
+}
+
+func (f *fakeBackend) Close() error {
+	f.closed.Store(true)
+	return nil
+}
+
+// startServer runs a server over b on ephemeral ports and returns it with a
+// cleanup-registered shutdown.
+func startServer(t *testing.T, b serve.Backend, cfg serve.Config) *serve.Server {
+	t.Helper()
+	cfg.Listen = "127.0.0.1:0"
+	if cfg.Admin == "" {
+		cfg.Admin = "127.0.0.1:0"
+	}
+	s := serve.New(b, cfg)
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+func TestProtoRoundTrip(t *testing.T) {
+	s := startServer(t, newFake(3), serve.Config{})
+	c, err := serve.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if c.NumFields() != 3 {
+		t.Fatalf("NumFields = %d, want 3", c.NumFields())
+	}
+	for i := 0; i < 32; i++ {
+		pkt := rules.Packet{uint32(i), uint32(2 * i), 7}
+		id, err := c.Classify(pkt)
+		if err != nil {
+			t.Fatalf("Classify: %v", err)
+		}
+		if want := 3*i + 7; id != want {
+			t.Fatalf("Classify(%v) = %d, want %d", pkt, id, want)
+		}
+	}
+}
+
+func TestDialRejectsBadHandshake(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		nc.Write([]byte("HTTP/1.1 400 Bad Request\r\n"))
+		nc.Close()
+	}()
+	if _, err := serve.Dial(ln.Addr().String()); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("Dial on bad magic = %v, want magic error", err)
+	}
+}
+
+// TestDeadlineFlush: a lone trickling request must be answered within the
+// coalescing deadline, not held hostage for a full batch.
+func TestDeadlineFlush(t *testing.T) {
+	s := startServer(t, newFake(2), serve.Config{BatchSize: 128, MaxDelay: time.Millisecond})
+	c, err := serve.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	id, err := c.Classify(rules.Packet{40, 2})
+	if err != nil || id != 42 {
+		t.Fatalf("Classify = %d, %v; want 42", id, err)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("lone request took %v — deadline flush broken", e)
+	}
+	snap := s.MetricsSnapshot()
+	if snap.BatchesTotal == 0 || snap.BatchFillSum != snap.BatchesTotal {
+		t.Fatalf("expected singleton batches, got fill %d over %d batches", snap.BatchFillSum, snap.BatchesTotal)
+	}
+}
+
+func TestReloadSwapAndReject(t *testing.T) {
+	old := newFake(2)
+	var next serve.Backend = newFake(2)
+	s := startServer(t, old, serve.Config{
+		Reload: func() (serve.Backend, error) { return next, nil },
+	})
+	c, err := serve.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Classify(rules.Packet{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Reload(); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if !old.closed.Load() {
+		t.Fatal("old backend not closed after swap")
+	}
+	if got := s.Backend(); got != next {
+		t.Fatalf("Backend() = %v, want the reloaded one", got)
+	}
+	// Lookups keep flowing across the swap.
+	if id, err := c.Classify(rules.Packet{20, 22}); err != nil || id != 42 {
+		t.Fatalf("post-reload Classify = %d, %v", id, err)
+	}
+
+	// A reload that changes dimensionality must be rejected and the
+	// rejected backend closed.
+	wrong := newFake(5)
+	next = wrong
+	if err := s.Reload(); err == nil || !strings.Contains(err.Error(), "fields") {
+		t.Fatalf("Reload with wrong NumFields = %v, want rejection", err)
+	}
+	if !wrong.closed.Load() {
+		t.Fatal("rejected backend not closed")
+	}
+	snap := s.MetricsSnapshot()
+	if snap.Reloads != 1 || snap.ReloadFailures != 1 {
+		t.Fatalf("reload counters = %d/%d, want 1/1", snap.Reloads, snap.ReloadFailures)
+	}
+}
+
+// TestShutdownDrains: every request the server accepted before Shutdown
+// must be answered before the connection closes.
+func TestShutdownDrains(t *testing.T) {
+	const n = 100
+	s := startServer(t, newFake(2), serve.Config{BatchSize: 8, MaxDelay: 50 * time.Microsecond})
+	c, err := serve.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < n; i++ {
+		if err := c.Send(uint32(i), rules.Packet{uint32(i), 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the server has ingested everything, so the drain guarantee
+	// (not a read race) is what the test exercises.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.MetricsSnapshot().RequestsTotal < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("server ingested only %d/%d requests", s.MetricsSnapshot().RequestsTotal, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	got := 0
+	for {
+		seq, id, err := c.Recv()
+		if err != nil {
+			break // server closed the conn after the drain
+		}
+		if want := int(seq) + 1; id != want {
+			t.Fatalf("resp seq %d = %d, want %d", seq, id, want)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("drained %d/%d responses", got, n)
+	}
+	if snap := s.MetricsSnapshot(); snap.ResponsesTotal != n || snap.Inflight != 0 {
+		t.Fatalf("post-drain metrics: responses %d inflight %d", snap.ResponsesTotal, snap.Inflight)
+	}
+}
+
+func adminGet(t *testing.T, s *serve.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", s.AdminAddr(), path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	b := newFake(2)
+	s := startServer(t, b, serve.Config{})
+
+	if code, body := adminGet(t, s, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := adminGet(t, s, "/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz healthy = %d %q", code, body)
+	}
+
+	// Degraded: still ready, but flagged with the reason.
+	b.state.Store(int32(core.Degraded))
+	b.reason.Store(&core.HealthReason{Shard: 1, Code: "retrain-failing", Detail: "x"})
+	if code, body := adminGet(t, s, "/readyz"); code != 200 || !strings.Contains(body, "degraded") || !strings.Contains(body, "retrain-failing") {
+		t.Fatalf("/readyz degraded = %d %q", code, body)
+	}
+
+	// Failed: not ready.
+	b.state.Store(int32(core.Failed))
+	if code, _ := adminGet(t, s, "/readyz"); code != 503 {
+		t.Fatalf("/readyz failed = %d, want 503", code)
+	}
+	b.state.Store(int32(core.Healthy))
+	b.reason.Store(nil)
+
+	// Metrics exposition includes serving counters and health state.
+	c, err := serve.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Classify(rules.Packet{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	code, body := adminGet(t, s, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"nmserve_requests_total 1",
+		"nmserve_responses_total 1",
+		"nmserve_batches_total",
+		"nmserve_health_state 0",
+		"nmserve_request_duration_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestCoalescingUnderLoad: many concurrent clients must coalesce into
+// multi-request batches, and every response must route back to the right
+// connection.
+func TestCoalescingUnderLoad(t *testing.T) {
+	const clients, per = 16, 200
+	s := startServer(t, newFake(2), serve.Config{BatchSize: 64, MaxDelay: 200 * time.Microsecond})
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := serve.Dial(s.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			const window = 32
+			next, inflight := 0, 0
+			for next < per || inflight > 0 {
+				for next < per && inflight < window {
+					// Client identity baked into the payload: a misrouted
+					// response would fail the check below.
+					if err := c.Send(uint32(next), rules.Packet{uint32(ci * 1000), uint32(next)}); err != nil {
+						errs <- err
+						return
+					}
+					next++
+					inflight++
+				}
+				if err := c.Flush(); err != nil {
+					errs <- err
+					return
+				}
+				seq, id, err := c.Recv()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := ci*1000 + int(seq); id != want {
+					errs <- fmt.Errorf("client %d seq %d: got %d, want %d", ci, seq, id, want)
+					return
+				}
+				inflight--
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	snap := s.MetricsSnapshot()
+	if snap.ResponsesTotal != clients*per {
+		t.Fatalf("responses %d, want %d", snap.ResponsesTotal, clients*per)
+	}
+	t.Logf("batches %d, avg fill %.1f", snap.BatchesTotal, snap.AvgBatchFill())
+}

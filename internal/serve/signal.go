@@ -1,0 +1,16 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ShutdownContext returns a context cancelled on SIGINT or SIGTERM — the
+// shared drain trigger for cmd/nmserve and cmd/nmctl. The CancelFunc also
+// unregisters the handler, so a second signal after cancellation kills the
+// process the default way (an escape hatch from a stuck drain).
+func ShutdownContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}

@@ -340,6 +340,21 @@ func (t *Table) Retrain() (RetrainStats, error) {
 // Use it for Stats and for explicit Check-driven retrain points.
 func (t *Table) Autopilot() *Autopilot { return t.ap }
 
+// AutopilotStats returns the attached supervisor's cumulative activity, or
+// the zero value when the table has no autopilot. It gives tables and
+// clusters a uniform stats surface for metrics exporters (the serving
+// tier's /metrics endpoint reads it through one interface).
+func (t *Table) AutopilotStats() AutopilotStats {
+	if t.ap == nil {
+		return AutopilotStats{}
+	}
+	return t.ap.Stats()
+}
+
+// NumFields returns the dimensionality of the table's rule-set — the field
+// count every Lookup packet must carry. Fixed at build time.
+func (t *Table) NumFields() int { return t.eng.NumFields() }
+
 // Health reports the table's serving condition. A closed table is Failed;
 // an open one is Healthy unless its autopilot is accumulating consecutive
 // retrain or persist failures, which degrade it with machine-readable
