@@ -352,7 +352,7 @@ func TestClusterHealthQuarantine(t *testing.T) {
 
 	// Two supervised retrain failures on shard 0 cross the threshold.
 	addWildcard(9_000_001) // wildcard: replicates into every shard's journal
-	faultinject.Enable("core.retrain.build", faultinject.Rule{FailCount: 3})
+	faultinject.Enable(faultinject.PointRetrainBuild, faultinject.Rule{FailCount: 3})
 	if _, err := cluster.ShardAutopilot(0).Check(); err == nil {
 		t.Fatal("first supervised retrain did not fail under fault")
 	}
@@ -452,7 +452,7 @@ func TestClusterHealthNoDoubleCount(t *testing.T) {
 	// Unlimited build faults: the supervised retrains fail into quarantine
 	// and the background rebuilder keeps failing too, holding the window
 	// open while we inspect it.
-	faultinject.Enable("core.retrain.build", faultinject.Rule{})
+	faultinject.Enable(faultinject.PointRetrainBuild, faultinject.Rule{})
 	r := nuevomatch.Rule{ID: 9_100_001, Priority: 20_000, Fields: fullFields(rs.NumFields)}
 	if err := cluster.Insert(r); err != nil {
 		t.Fatal(err)

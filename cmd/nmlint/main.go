@@ -1,0 +1,77 @@
+// Command nmlint runs the repo's static-analysis suite (internal/lint) over
+// a set of package patterns and exits nonzero on any diagnostic. It is the
+// CI gate for the invariants runtime tests can only spot-check: the
+// zero-alloc/zero-lock hot path, RCU snapshot immutability, the fault-point
+// registry, and no blocking work under the engine write mutex.
+//
+// Usage:
+//
+//	nmlint [-dir d] [-only a,b] [packages...]
+//
+// With no package arguments it analyzes ./.... The -only flag restricts the
+// run to a comma-separated subset of analyzers (hotpath, rcusnapshot,
+// faultpoint, lockscope).
+//
+// nmlint drives itself instead of plugging into `go vet -vettool`: the
+// vettool protocol needs golang.org/x/tools/go/analysis/unitchecker, and
+// this module deliberately carries no third-party dependencies. The
+// analyzers mirror the go/analysis API, so they would port mechanically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nuevomatch/internal/lint"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "module directory to analyze")
+	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "nmlint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	prog, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "nmlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

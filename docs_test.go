@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -114,6 +115,13 @@ func TestDocLinks(t *testing.T) {
 	files = append(files, docFiles...)
 	if len(docFiles) < 2 {
 		t.Errorf("expected at least docs/ARCHITECTURE.md and docs/BENCHMARKS.md, found %v", docFiles)
+	}
+	// Core docs that must exist by name: the glob above would silently
+	// shrink if one were deleted or renamed.
+	for _, want := range []string{"ARCHITECTURE.md", "BENCHMARKS.md", "RELIABILITY.md", "SERVING.md", "STATIC_ANALYSIS.md"} {
+		if !slices.Contains(docFiles, filepath.Join("docs", want)) {
+			t.Errorf("docs/%s is missing", want)
+		}
 	}
 	checked := 0
 	for _, f := range files {

@@ -21,6 +21,8 @@ func Lens(r *rules.Rule) []uint8 {
 }
 
 // Mask keeps the top n bits of v.
+//
+//nm:hotpath
 func Mask(v uint32, n uint8) uint32 {
 	if n == 0 {
 		return 0
@@ -73,11 +75,15 @@ const (
 // a tuple hash is the XOR of its nonzero fields' mixes passed through
 // Finish. Callers scanning many tables that share (dimension, length) pairs
 // can memoize MixField results and rebuild each table's hash with XORs.
+//
+//nm:hotpath
 func MixField(d int, v uint32) uint64 {
 	return (uint64(v) + uint64(d+1)*hashSeed) * fieldMix
 }
 
 // Finish is the final avalanche applied to the XOR of field mixes.
+//
+//nm:hotpath
 func Finish(h uint64) uint64 {
 	h ^= h >> 33
 	h *= avalanche
@@ -86,6 +92,8 @@ func Finish(h uint64) uint64 {
 }
 
 // HashPacket hashes the packet fields masked to the tuple.
+//
+//nm:hotpath
 func HashPacket(p rules.Packet, lens []uint8) uint64 {
 	var h uint64
 	for d, n := range lens {

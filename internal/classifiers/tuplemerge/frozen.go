@@ -21,6 +21,8 @@ import (
 // live classifier's ascending-bestPrio order and buckets keep their
 // ascending-priority entry order, so the early-termination scans are
 // identical to the live classifier's — only the memory layout differs.
+//
+//nm:immutable
 type Frozen struct {
 	numFields int
 	numTables int
@@ -63,6 +65,8 @@ var _ rules.BatchPrefetcher = (*Frozen)(nil)
 // Freeze implements rules.Freezable: it compiles the classifier's current
 // contents under the read lock and returns a detached immutable form.
 // Emptied buckets and emptied tables are dropped during compilation.
+//
+//nm:builder Frozen
 func (c *Classifier) Freeze() rules.FrozenClassifier {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -157,6 +161,8 @@ func (f *Frozen) MemoryFootprint() int {
 // are the overlay's deleted-rule IDs and stay tiny (compaction re-freezes
 // past a threshold), and the check runs only on candidate matches, so a
 // branch-free-ish binary search is plenty.
+//
+//nm:hotpath
 func skipped(skip []int, id int) bool {
 	lo, hi := 0, len(skip)-1
 	for lo <= hi {
@@ -176,6 +182,8 @@ func skipped(skip []int, id int) bool {
 // matchRule verifies packet p against compiled rule ri with a branch-light
 // lockstep scan over the SoA bounds: one unsigned-subtract range check per
 // field, AND-accumulated so the loop carries no data-dependent branches.
+//
+//nm:hotpath
 func (f *Frozen) matchRule(ri int32, p rules.Packet) bool {
 	base := int(ri) * f.numFields
 	in := uint32(1)
@@ -187,6 +195,7 @@ func (f *Frozen) matchRule(ri int32, p rules.Packet) bool {
 	return in != 0
 }
 
+//nm:hotpath
 func b32(b bool) uint32 {
 	if b {
 		return 1
@@ -196,6 +205,8 @@ func b32(b bool) uint32 {
 
 // scanBucket walks one priority-sorted bucket under the bound, returning
 // the winner (or -1) and the tightened bound.
+//
+//nm:hotpath
 func (f *Frozen) scanBucket(start, n int32, p rules.Packet, bestPrio int32, skip []int) (int, int32) {
 	best := rules.NoMatch
 	for _, ri := range f.entries[start : start+n] {
@@ -211,6 +222,8 @@ func (f *Frozen) scanBucket(start, n int32, p rules.Packet, bestPrio int32, skip
 }
 
 // probe finds table ti's bucket for hash h, returning its entries span.
+//
+//nm:hotpath
 func (f *Frozen) probe(ti int, h uint64) (start, n int32) {
 	base := f.tSlotOff[ti]
 	mask := uint64(f.tSlotOff[ti+1]-base) - 1
@@ -227,6 +240,8 @@ func (f *Frozen) probe(ti int, h uint64) (start, n int32) {
 
 // Lookup implements rules.FrozenClassifier: the live classifier's bounded
 // table walk over the compiled arrays. Zero locks, zero allocation.
+//
+//nm:hotpath
 func (f *Frozen) Lookup(p rules.Packet, bestPrio int32, skip []int) int {
 	if len(p) < f.numFields {
 		return rules.NoMatch
@@ -277,6 +292,8 @@ const prefetchMinDirBytes = 1 << 20
 // instruction cpu.HasPrefetch is a false constant and the whole body folds
 // away; on small tables prefetchWorth is false and the call is a bounds
 // check and a load.
+//
+//nm:hotpath
 func (f *Frozen) PrefetchBatch(pkts []rules.Packet) {
 	if !cpu.HasPrefetch || !f.prefetchWorth {
 		return
@@ -312,6 +329,8 @@ func (f *Frozen) PrefetchBatch(pkts []rules.Packet) {
 // cache-hot. The tables' ascending-priority order gives a whole-batch early
 // exit: once no packet's bound exceeds the table's best priority, no later
 // table can improve anything.
+//
+//nm:hotpath
 func (f *Frozen) LookupBatch(pkts []rules.Packet, bounds []int32, skip []int, out []int) {
 	nf := f.numFields
 	for ti := 0; ti < f.numTables; ti++ {

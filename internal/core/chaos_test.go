@@ -61,10 +61,10 @@ func TestClusterChaosFailStatic(t *testing.T) {
 
 			// The randomized schedule: every fault deterministic per profile.
 			seed := int64(7_000 + pi)
-			faultinject.Enable("core.retrain.build", faultinject.Rule{Probability: 0.5, Seed: seed})
-			faultinject.Enable("core.cluster.save.shard", faultinject.Rule{Probability: 0.3, Seed: seed + 1})
-			faultinject.Enable("core.cluster.save.current", faultinject.Rule{Probability: 0.2, Seed: seed + 2})
-			faultinject.Enable("core.cluster.shard.slow", faultinject.Rule{Probability: 0.02, Seed: seed + 3, Delay: 200 * time.Microsecond})
+			faultinject.Enable(faultinject.PointRetrainBuild, faultinject.Rule{Probability: 0.5, Seed: seed})
+			faultinject.Enable(faultinject.PointClusterSaveShard, faultinject.Rule{Probability: 0.3, Seed: seed + 1})
+			faultinject.Enable(faultinject.PointClusterSaveCurrent, faultinject.Rule{Probability: 0.2, Seed: seed + 2})
+			faultinject.Enable(faultinject.PointClusterShardSlow, faultinject.Rule{Probability: 0.02, Seed: seed + 3, Delay: 200 * time.Microsecond})
 
 			rng := rand.New(rand.NewSource(seed))
 			saves, saveFails, retrains, retrainFails := 0, 0, 0, 0
@@ -145,7 +145,7 @@ func TestClusterQuarantineLifecycle(t *testing.T) {
 
 	// 2 foreground failures trip quarantine; the rebuilder eats 2 more
 	// before its third attempt succeeds.
-	faultinject.Enable("core.retrain.build", faultinject.Rule{FailCount: 4})
+	faultinject.Enable(faultinject.PointRetrainBuild, faultinject.Rule{FailCount: 4})
 	for i := 0; i < 2; i++ {
 		if _, err := d.c.RetrainShard(1); err == nil {
 			t.Fatalf("retrain %d survived an armed build fault", i)
@@ -253,18 +253,18 @@ func TestHealthStrings(t *testing.T) {
 }
 
 // fuzzFaultPoints is the schedule surface FuzzFaultSchedule draws from.
-var fuzzFaultPoints = []string{
-	"core.cluster.save.shard",
-	"core.cluster.save.rules",
-	"core.cluster.save.manifest",
-	"core.cluster.save.sync",
-	"core.cluster.save.rename",
-	"core.cluster.save.current",
-	"core.cluster.load.shard",
-	"core.retrain.build",
-	"core.retrain.replay",
-	"core.codec.write",
-	"core.codec.read",
+var fuzzFaultPoints = []faultinject.Point{
+	faultinject.PointClusterSaveShard,
+	faultinject.PointClusterSaveRules,
+	faultinject.PointClusterSaveManifest,
+	faultinject.PointClusterSaveSync,
+	faultinject.PointClusterSaveRename,
+	faultinject.PointClusterSaveCurrent,
+	faultinject.PointClusterLoadShard,
+	faultinject.PointRetrainBuild,
+	faultinject.PointRetrainReplay,
+	faultinject.PointCodecWrite,
+	faultinject.PointCodecRead,
 }
 
 // FuzzFaultSchedule fuzzes the fault schedule itself: an arbitrary
@@ -320,9 +320,9 @@ func FuzzFaultSchedule(f *testing.F) {
 		}
 
 		faultinject.Enable(point, rule)
-		c.SaveDir(dir)       // may tear; crash semantics on purpose
-		c.RetrainShard(0)    // may fail or quarantine
-		c.RetrainShard(1)    // may fail or quarantine
+		c.SaveDir(dir)    // may tear; crash semantics on purpose
+		c.RetrainShard(0) // may fail or quarantine
+		c.RetrainShard(1) // may fail or quarantine
 		if lc, err := LoadClusterDir(dir, nil); err == nil {
 			for i := 0; i < 50; i++ {
 				p := make(rules.Packet, base.NumFields)

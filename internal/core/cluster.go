@@ -239,6 +239,8 @@ type Cluster struct {
 
 	// mu guards the update side: the replica-mask table and the replicated
 	// counter. Lookups never take it.
+	//
+	//nm:lockscope
 	mu sync.Mutex
 	// shardsOf maps every live rule ID to the mask of shards holding a
 	// replica — the delete path's routing table (a rule's range is unknown
@@ -251,7 +253,9 @@ type Cluster struct {
 	ruleByID map[int]rules.Rule
 
 	// saveMu serializes whole-directory saves with each other (they write
-	// outside c.mu so updates are not stalled for the disk I/O).
+	// outside c.mu so updates are not stalled for the disk I/O). It is
+	// deliberately NOT //nm:lockscope: its whole purpose is to be held
+	// across disk I/O, away from the update lock.
 	saveMu sync.Mutex
 
 	// qmu guards the quarantine state; see health.go.
@@ -531,7 +535,7 @@ func (c *Cluster) LookupBatch(pkts []rules.Packet, out []int) {
 	// delays this batch's dispatch, modeling a shard that answers late (a
 	// paging host, a contended core). Answers stay correct — latency faults
 	// never violate fail-static.
-	faultinject.Sleep("core.cluster.shard.slow")
+	faultinject.Sleep(faultinject.PointClusterShardSlow)
 	if len(scr.order) >= 2 && runtime.GOMAXPROCS(0) >= 2 {
 		// Fan the tail shards out to workers; serve the first inline so the
 		// calling goroutine contributes a core instead of blocking.

@@ -152,7 +152,7 @@ func nextGenNumber(dir string) (uint64, error) {
 // write, fsync. faultName is the injection point guarding it; a triggered
 // fault strikes mid-write, leaving a genuinely torn file behind exactly as
 // a crash would — the kill-point sweep's raw material.
-func writeGenFile(path string, data []byte, faultName string) error {
+func writeGenFile(path string, data []byte, faultName faultinject.Point) error {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
@@ -248,11 +248,11 @@ func (c *Cluster) SaveDir(dir string) error {
 		return err
 	}
 	for s, blob := range blobs {
-		if err := writeGenFile(filepath.Join(stage, m.Shards[s]), blob, "core.cluster.save.shard"); err != nil {
+		if err := writeGenFile(filepath.Join(stage, m.Shards[s]), blob, faultinject.PointClusterSaveShard); err != nil {
 			return fmt.Errorf("core: saving shard %d: %w", s, err)
 		}
 	}
-	if err := writeGenFile(filepath.Join(stage, m.Rules), rulesBlob, "core.cluster.save.rules"); err != nil {
+	if err := writeGenFile(filepath.Join(stage, m.Rules), rulesBlob, faultinject.PointClusterSaveRules); err != nil {
 		return fmt.Errorf("core: saving cluster rules: %w", err)
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
@@ -260,19 +260,19 @@ func (c *Cluster) SaveDir(dir string) error {
 		return err
 	}
 	data = append(data, '\n')
-	if err := writeGenFile(filepath.Join(stage, ClusterManifestName), data, "core.cluster.save.manifest"); err != nil {
+	if err := writeGenFile(filepath.Join(stage, ClusterManifestName), data, faultinject.PointClusterSaveManifest); err != nil {
 		return fmt.Errorf("core: saving cluster manifest: %w", err)
 	}
 	// The staged files' contents must be durable before the directory
 	// rename that makes them reachable, and the rename itself must be
 	// durable (parent fsync) before CURRENT can reference it.
-	if err := faultinject.Hit("core.cluster.save.sync"); err != nil {
+	if err := faultinject.Hit(faultinject.PointClusterSaveSync); err != nil {
 		return err
 	}
 	if err := syncDir(stage); err != nil {
 		return err
 	}
-	if err := faultinject.Hit("core.cluster.save.rename"); err != nil {
+	if err := faultinject.Hit(faultinject.PointClusterSaveRename); err != nil {
 		return err
 	}
 	if err := os.Rename(stage, filepath.Join(dir, genName)); err != nil {
@@ -281,7 +281,7 @@ func (c *Cluster) SaveDir(dir string) error {
 	if err := syncDir(dir); err != nil {
 		return err
 	}
-	if err := faultinject.Hit("core.cluster.save.current"); err != nil {
+	if err := faultinject.Hit(faultinject.PointClusterSaveCurrent); err != nil {
 		return err
 	}
 	err = writeFileAtomic(filepath.Join(dir, ClusterCurrentName), func(f *os.File) error {
@@ -605,7 +605,7 @@ func loadClusterGen(dir string, remainder rules.Builder) (*Cluster, error) {
 // readShardFile loads one shard table, with a fault point ahead of the
 // open so chaos schedules can fail shard loads without touching the disk.
 func readShardFile(path string, remainder rules.Builder) (*Engine, error) {
-	if err := faultinject.Hit("core.cluster.load.shard"); err != nil {
+	if err := faultinject.Hit(faultinject.PointClusterLoadShard); err != nil {
 		return nil, err
 	}
 	f, err := os.Open(path)

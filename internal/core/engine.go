@@ -126,6 +126,8 @@ type Engine struct {
 
 	// mu guards everything below — the write-side state. It is never taken
 	// by lookups.
+	//
+	//nm:lockscope
 	mu     sync.Mutex
 	rs     *rules.RuleSet // built rules; positions are stable
 	posID  map[int]int    // built rule ID -> position
@@ -316,6 +318,8 @@ func (e *Engine) publishLocked() {
 }
 
 // snapshot returns the current read state.
+//
+//nm:hotpath
 func (e *Engine) snapshot() *snapshot { return e.snap.Load() }
 
 // Name implements rules.Classifier.
@@ -346,11 +350,15 @@ func (e *Engine) Remainder() rules.Classifier {
 // priority found — the single-core early-termination flow of §4. The hot
 // path is one atomic snapshot load followed by flat-array reads only: no
 // locks, no maps, no type assertions.
+//
+//nm:hotpath
 func (e *Engine) Lookup(p rules.Packet) int {
 	return e.snapshot().lookup(p, math.MaxInt32)
 }
 
 // LookupWithBound implements rules.BoundedClassifier.
+//
+//nm:hotpath
 func (e *Engine) LookupWithBound(p rules.Packet, bestPrio int32) int {
 	return e.snapshot().lookup(p, bestPrio)
 }
@@ -362,6 +370,8 @@ func (e *Engine) LookupWithBound(p rules.Packet, bestPrio int32) int {
 // candidates validate against flat metadata, and the remainder is queried
 // per packet under the §4 early-termination bound. Results are identical to
 // calling Lookup per packet against the same snapshot.
+//
+//nm:hotpath
 func (e *Engine) LookupBatch(pkts []rules.Packet, out []int) {
 	e.snapshot().lookupBatch(pkts, out)
 }
@@ -415,9 +425,13 @@ func (w *parWorker) loop() {
 
 // serve runs the iSet half of the §5.1 split over the job's packets using
 // the shared chunked inference of snapshot.isetChunk.
+//
+//nm:hotpath
 func (w *parWorker) serve(j parJob) {
 	if cap(w.best) < len(j.pkts) {
+		//nm:allow hotpath: one-time buffer growth; steady-state batches reuse the worker's persistent buffers
 		w.best = make([]int, len(j.pkts))
+		//nm:allow hotpath: one-time buffer growth; steady-state batches reuse the worker's persistent buffers
 		w.prio = make([]int32, len(j.pkts))
 	}
 	w.best = w.best[:len(j.pkts)]

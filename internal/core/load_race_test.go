@@ -31,9 +31,9 @@ func TestLoadClusterDirRacingPrune(t *testing.T) {
 	entered := make(chan struct{})
 	gate := make(chan struct{})
 	var once sync.Once
-	faultinject.Enable("core.cluster.load.shard", faultinject.Rule{
+	faultinject.Enable(faultinject.PointClusterLoadShard, faultinject.Rule{
 		Delay: time.Microsecond,
-		OnTrigger: func(string) {
+		OnTrigger: func(faultinject.Point) {
 			once.Do(func() {
 				close(entered)
 				<-gate

@@ -27,10 +27,12 @@ var overlayCompactThreshold = 64
 // frozen rules deleted since the freeze, sorted ascending for the frozen
 // scan's binary-search mask; rules that were added and then deleted are
 // removed from the add arrays instead.
+//
+//nm:immutable
 type remOverlay struct {
 	numFields int
 	addID     []int
-	addPrio   []int32 // ascending
+	addPrio   []int32  // ascending
 	addLo     []uint32 // stride numFields
 	addHi     []uint32
 	del       []int // sorted ascending
@@ -42,6 +44,8 @@ func (ov *remOverlay) size() int { return len(ov.addID) + len(ov.del) }
 
 // scan returns the best added rule beating bestPrio that matches p, or -1.
 // Additions are priority-sorted, so the first match wins.
+//
+//nm:hotpath
 func (ov *remOverlay) scan(p rules.Packet, bestPrio int32) (int, int32) {
 	nf := ov.numFields
 	if len(p) < nf {
@@ -67,6 +71,8 @@ func (ov *remOverlay) scan(p rules.Packet, bestPrio int32) (int, int32) {
 
 // scanBatch applies scan to a chunk, tightening bounds and recording
 // winners in place (entries it cannot improve are left untouched).
+//
+//nm:hotpath
 func (ov *remOverlay) scanBatch(pkts []rules.Packet, bounds []int32, out []int) {
 	if len(ov.addPrio) == 0 {
 		return
@@ -79,6 +85,8 @@ func (ov *remOverlay) scanBatch(pkts []rules.Packet, bounds []int32, out []int) 
 	}
 }
 
+//
+//nm:hotpath
 func b32(b bool) uint32 {
 	if b {
 		return 1
@@ -89,6 +97,8 @@ func b32(b bool) uint32 {
 // withAdd returns a new overlay with r inserted into the priority-sorted
 // add arrays. The receiver is never mutated: published snapshots keep
 // referencing it.
+//
+//nm:builder remOverlay
 func (ov *remOverlay) withAdd(r rules.Rule) *remOverlay {
 	nf := ov.numFields
 	i := sort.Search(len(ov.addPrio), func(i int) bool { return ov.addPrio[i] > r.Priority })
@@ -121,6 +131,8 @@ func (ov *remOverlay) withAdd(r rules.Rule) *remOverlay {
 // withDelete returns a new overlay reflecting the deletion of id: an added
 // rule is dropped from the add arrays, a frozen rule joins the sorted skip
 // list.
+//
+//nm:builder remOverlay
 func (ov *remOverlay) withDelete(id int) *remOverlay {
 	nf := ov.numFields
 	for i, aid := range ov.addID {

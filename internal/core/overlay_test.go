@@ -105,7 +105,7 @@ func TestOverlayConformanceAgainstLinear(t *testing.T) {
 // different rule under the same ID must be served from the overlay while
 // the stale frozen copy stays masked.
 func TestOverlayDeleteThenReuseID(t *testing.T) {
-	withCompactThreshold(1 << 20, func() { // never compact: keep both delta sides live
+	withCompactThreshold(1<<20, func() { // never compact: keep both delta sides live
 		rng := rand.New(rand.NewSource(82))
 		rs := structuredRuleSet(rng, 200)
 		e, err := Build(rs, fastOpts())

@@ -193,20 +193,20 @@ func TestClusterSaveKillPointSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	cases := []struct {
-		point string
+		point faultinject.Point
 		skip  int
 	}{
-		{"core.cluster.save.shard", 0},
-		{"core.cluster.save.shard", 1},
-		{"core.cluster.save.shard", 2},
-		{"core.cluster.save.rules", 0},
-		{"core.cluster.save.manifest", 0},
-		{"core.cluster.save.sync", 0},
-		{"core.cluster.save.rename", 0},
-		{"core.cluster.save.current", 0},
+		{faultinject.PointClusterSaveShard, 0},
+		{faultinject.PointClusterSaveShard, 1},
+		{faultinject.PointClusterSaveShard, 2},
+		{faultinject.PointClusterSaveRules, 0},
+		{faultinject.PointClusterSaveManifest, 0},
+		{faultinject.PointClusterSaveSync, 0},
+		{faultinject.PointClusterSaveRename, 0},
+		{faultinject.PointClusterSaveCurrent, 0},
 	}
 	for _, tc := range cases {
-		t.Run(fmt.Sprintf("%s@%d", strings.TrimPrefix(tc.point, "core.cluster.save."), tc.skip), func(t *testing.T) {
+		t.Run(fmt.Sprintf("%s@%d", strings.TrimPrefix(string(tc.point), "core.cluster.save."), tc.skip), func(t *testing.T) {
 			defer faultinject.Reset()
 			d := driftedCluster(t, prof, 3, 30, 11)
 			if d.c.NumShards() <= tc.skip {

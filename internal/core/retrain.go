@@ -118,7 +118,7 @@ func (e *Engine) retrain(opts *Options) (RetrainStats, error) {
 
 	t0 := time.Now()
 	var fresh *Engine
-	err := faultinject.Hit("core.retrain.build")
+	err := faultinject.Hit(faultinject.PointRetrainBuild)
 	if err == nil {
 		fresh, err = Build(live, *opts)
 	}
@@ -139,7 +139,7 @@ func (e *Engine) retrain(opts *Options) (RetrainStats, error) {
 	// folded in as one bulk pass — O(journal + remainder), not O(journal ×
 	// remainder) of per-op copy-on-write — because fresh is still private:
 	// no snapshot of it is ever observed until adoptLocked publishes.
-	if err := faultinject.Hit("core.retrain.replay"); err != nil {
+	if err := faultinject.Hit(faultinject.PointRetrainReplay); err != nil {
 		fresh.Close()
 		return st, fmt.Errorf("core: retrain replay: %w", err)
 	}

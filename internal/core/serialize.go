@@ -119,78 +119,90 @@ func init() { RegisterRemainder("tuplemerge", tuplemerge.Build) }
 // WriteTo serializes the engine's complete logical state — options, built
 // rules with liveness, trained models, iSet membership, and the current
 // remainder rules — so ReadEngine can reconstruct a lookup-identical engine
-// without retraining. It implements io.WriterTo. The write side is locked
-// for the duration, so the saved image is one consistent state; lookups are
-// unaffected (they never take the lock).
+// without retraining. It implements io.WriterTo. The image is captured into
+// memory under the write lock (one consistent state) and copied to w after
+// unlocking, so a slow destination never stalls updates; lookups are
+// unaffected either way (they never take the lock).
 func (e *Engine) WriteTo(w io.Writer) (int64, error) {
-	if err := faultinject.Hit("core.codec.write"); err != nil {
+	if err := faultinject.Hit(faultinject.PointCodecWrite); err != nil {
 		return 0, err
 	}
+	var buf bytes.Buffer
+	if err := e.serializeTo(&buf); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// serializeTo captures one consistent engine image under the write lock.
+// It writes only to the in-memory buffer — the lock is never held across
+// real I/O (WriteTo copies the image out after unlocking).
+func (e *Engine) serializeTo(buf *bytes.Buffer) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
-	bw := bufio.NewWriter(w)
-	cw := &countWriter{w: bw}
+	cw := &countWriter{w: buf}
 	put := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
 
 	if err := put(tableMagic); err != nil {
-		return cw.n, err
+		return err
 	}
 	if err := put(uint32(tableFormatVersion)); err != nil {
-		return cw.n, err
+		return err
 	}
 
 	// Options. The remainder builder is a function and cannot be encoded;
 	// its classifier name is recorded for the registry lookup on load.
 	if err := put(int32(e.opts.MaxISets)); err != nil {
-		return cw.n, err
+		return err
 	}
 	if err := put(e.opts.MinCoverage); err != nil {
-		return cw.n, err
+		return err
 	}
 	if err := putIntSlice(put, e.opts.ISetFields); err != nil {
-		return cw.n, err
+		return err
 	}
 	if err := putString(put, e.remainder.Name()); err != nil {
-		return cw.n, err
+		return err
 	}
 	cfg := e.opts.RQRMI
 	if len(cfg.StageWidths) > maxCodecWidths {
-		return cw.n, fmt.Errorf("core: %d RQ-RMI stage widths exceed codec cap %d", len(cfg.StageWidths), maxCodecWidths)
+		return fmt.Errorf("core: %d RQ-RMI stage widths exceed codec cap %d", len(cfg.StageWidths), maxCodecWidths)
 	}
 	if err := put(uint16(len(cfg.StageWidths))); err != nil {
-		return cw.n, err
+		return err
 	}
 	for _, wd := range cfg.StageWidths {
 		if err := put(uint32(wd)); err != nil {
-			return cw.n, err
+			return err
 		}
 	}
 	for _, v := range []int{cfg.Hidden, cfg.TargetError, cfg.MaxRetrain, cfg.MinSamples,
 		cfg.MaxSamples, cfg.InternalEpochs, cfg.LeafEpochs} {
 		if err := put(int32(v)); err != nil {
-			return cw.n, err
+			return err
 		}
 	}
 	if err := put(cfg.LR); err != nil {
-		return cw.n, err
+		return err
 	}
 	if err := put(cfg.Seed); err != nil {
-		return cw.n, err
+		return err
 	}
 	if err := put(int32(cfg.SafetySlack)); err != nil {
-		return cw.n, err
+		return err
 	}
 
 	// Built rule-set and per-position liveness.
 	if e.rs.NumFields > maxCodecFields {
-		return cw.n, fmt.Errorf("core: %d fields exceed codec cap %d", e.rs.NumFields, maxCodecFields)
+		return fmt.Errorf("core: %d fields exceed codec cap %d", e.rs.NumFields, maxCodecFields)
 	}
 	if err := put(uint16(e.rs.NumFields)); err != nil {
-		return cw.n, err
+		return err
 	}
 	if err := putRules(put, e.rs.Rules); err != nil {
-		return cw.n, err
+		return err
 	}
 	bitmap := make([]byte, (len(e.meta)+7)/8)
 	for pos := range e.meta {
@@ -199,32 +211,32 @@ func (e *Engine) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	if err := put(bitmap); err != nil {
-		return cw.n, err
+		return err
 	}
 
 	// Trained iSets. Each model is framed as a length-prefixed blob so the
 	// reader can hand rqrmi.ReadModel an exact byte range (its internal
 	// buffering must not consume bytes of the enclosing stream).
 	if len(e.isets) > maxCodecISets {
-		return cw.n, fmt.Errorf("core: %d iSets exceed codec cap %d", len(e.isets), maxCodecISets)
+		return fmt.Errorf("core: %d iSets exceed codec cap %d", len(e.isets), maxCodecISets)
 	}
 	if err := put(uint16(len(e.isets))); err != nil {
-		return cw.n, err
+		return err
 	}
 	var blob bytes.Buffer
 	for i := range e.isets {
 		if err := put(uint16(e.isets[i].field)); err != nil {
-			return cw.n, err
+			return err
 		}
 		blob.Reset()
 		if _, err := e.isets[i].model.WriteTo(&blob); err != nil {
-			return cw.n, fmt.Errorf("core: serializing iSet %d model: %w", i, err)
+			return fmt.Errorf("core: serializing iSet %d model: %w", i, err)
 		}
 		if err := put(uint32(blob.Len())); err != nil {
-			return cw.n, err
+			return err
 		}
 		if err := put(blob.Bytes()); err != nil {
-			return cw.n, err
+			return err
 		}
 	}
 
@@ -232,7 +244,7 @@ func (e *Engine) WriteTo(w io.Writer) (int64, error) {
 	// online insert, minus online deletes — the authoritative copies of
 	// modified rules (§3.9).
 	if err := putRules(put, e.remainderRules.Rules); err != nil {
-		return cw.n, err
+		return err
 	}
 
 	// Drift counters survive the round trip so a loaded table retrains on
@@ -240,28 +252,28 @@ func (e *Engine) WriteTo(w io.Writer) (int64, error) {
 	for _, v := range []int{e.ustats.Inserted, e.ustats.DeletedFromISets,
 		e.ustats.DeletedFromRemainder, e.ustats.OverlayCompactions} {
 		if err := put(int64(v)); err != nil {
-			return cw.n, err
+			return err
 		}
 	}
 	if err := put(e.stats.Coverage); err != nil {
-		return cw.n, err
+		return err
 	}
 	if err := put(int64(e.stats.RemainderSize)); err != nil {
-		return cw.n, err
+		return err
 	}
 	if err := put(int32(e.stats.MaxSearchDistance)); err != nil {
-		return cw.n, err
+		return err
 	}
 	if err := put(int64(e.stats.TrainingTime)); err != nil {
-		return cw.n, err
+		return err
 	}
 	var trailer [tableTrailerLen]byte
 	copy(trailer[:4], tableTrailerMagic[:])
 	binary.LittleEndian.PutUint32(trailer[4:], cw.crc)
 	if err := put(trailer); err != nil {
-		return cw.n, err
+		return err
 	}
-	return cw.n, bw.Flush()
+	return nil
 }
 
 func putString(put func(any) error, s string) error {
@@ -345,7 +357,7 @@ func (c *countWriter) Write(p []byte) (int, error) {
 // before any payload decoding, so torn writes are caught up front.
 // Trailer-less version-1 artifacts are still accepted.
 func ReadEngine(r io.Reader, remainder rules.Builder) (*Engine, error) {
-	if err := faultinject.Hit("core.codec.read"); err != nil {
+	if err := faultinject.Hit(faultinject.PointCodecRead); err != nil {
 		return nil, err
 	}
 	data, err := io.ReadAll(r)

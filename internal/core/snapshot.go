@@ -33,6 +33,8 @@ type ruleMeta struct {
 // mutation (meta). The §3.9 online-update remainder is served by the
 // compiled frozen form plus the update overlay, so steady-state lookups
 // never touch the live classifier's synchronization.
+//
+//nm:immutable
 type snapshot struct {
 	numFields int
 	// meta[pos] is the metadata of built rule pos; deletions publish a copy
@@ -55,6 +57,8 @@ type snapshot struct {
 
 // matches reports whether the packet falls inside built rule pos, reading
 // the flat bound arrays directly.
+//
+//nm:hotpath
 func (s *snapshot) matches(pos int, p rules.Packet) bool {
 	base := pos * s.numFields
 	if len(p) < s.numFields {
@@ -71,6 +75,8 @@ func (s *snapshot) matches(pos int, p rules.Packet) bool {
 
 // isetCandidate returns the validated candidate of one iSet under the
 // running priority bound.
+//
+//nm:hotpath
 func (s *snapshot) isetCandidate(is *isetIndex, p rules.Packet, bestPrio int32) (id int, prio int32, ok bool) {
 	entry, found := is.model.LookupEntry(p[is.field])
 	if !found {
@@ -92,6 +98,8 @@ func (s *snapshot) isetCandidate(is *isetIndex, p rules.Packet, bestPrio int32) 
 
 // lookup runs the single-core early-termination flow of §4 against this
 // snapshot.
+//
+//nm:hotpath
 func (s *snapshot) lookup(p rules.Packet, bestPrio int32) int {
 	best := rules.NoMatch
 	for i := range s.isets {
@@ -123,6 +131,8 @@ var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 // most rqrmi.BatchChunk packets, writing each packet's best validated
 // candidate into best/bestPrio (len(block) entries each). It is the shared
 // iSet half of lookupBatch and the §5.1 parallel split.
+//
+//nm:hotpath
 func (s *snapshot) isetChunk(block []rules.Packet, keys *[rqrmi.BatchChunk]uint32, ents *[rqrmi.BatchChunk]int32, best []int, bestPrio []int32) {
 	n := len(block)
 	for c := range block {
@@ -162,6 +172,8 @@ func (s *snapshot) isetChunk(block []rules.Packet, keys *[rqrmi.BatchChunk]uint3
 // metadata, and finally the remainder is queried per chunk under the best
 // priorities found. Scratch comes from a pool, so the batch path allocates
 // nothing in steady state.
+//
+//nm:hotpath
 func (s *snapshot) lookupBatch(pkts []rules.Packet, out []int) {
 	const chunk = rqrmi.BatchChunk
 	scr := batchScratchPool.Get().(*batchScratch)
@@ -195,6 +207,7 @@ func (s *snapshot) lookupBatch(pkts []rules.Packet, out []int) {
 		} else if s.rem.batch != nil {
 			// One remainder call per chunk: a single lock acquisition and
 			// cache-hot tables serve all n packets.
+			//nm:allow hotpath: non-freezable remainder fallback; the classifier may lock internally, which is why freezable remainders are the default
 			s.rem.batch.LookupBatchWithBound(block, bestPrio[:n], out[off:off+n])
 			for c := range block {
 				if out[off+c] < 0 {
@@ -227,6 +240,8 @@ func (s *snapshot) lookupBatch(pkts []rules.Packet, out []int) {
 // assertion. It also carries a sorted (id, priority) table of the current
 // remainder rules, so the priority comparisons of the merge paths are
 // binary searches over flat slices instead of map accesses.
+//
+//nm:immutable
 type remainderAdapter struct {
 	frozen   rules.FrozenClassifier       // non-nil: compiled lock-free path
 	overlay  *remOverlay                  // updates since the freeze; non-nil iff frozen is
@@ -244,6 +259,8 @@ type remainderAdapter struct {
 // are the engine's current (sorted, immutable) remainder table. All are
 // maintained copy-on-write by the write side so building an adapter is
 // O(1).
+//
+//nm:builder remainderAdapter
 func newRemainderAdapter(c rules.Classifier, frozen rules.FrozenClassifier, overlay *remOverlay, ids []int, prios []int32) remainderAdapter {
 	ra := remainderAdapter{plain: c, frozen: frozen, overlay: overlay, ids: ids, prios: prios}
 	if pf, ok := frozen.(rules.BatchPrefetcher); ok {
@@ -278,6 +295,8 @@ func sortedRemainderTable(rr *rules.RuleSet) ([]int, []int32) {
 }
 
 // prioOf returns the priority of remainder rule id via binary search.
+//
+//nm:hotpath
 func (ra *remainderAdapter) prioOf(id int) (int32, bool) {
 	lo, hi := 0, len(ra.ids)-1
 	for lo <= hi {
@@ -297,6 +316,8 @@ func (ra *remainderAdapter) prioOf(id int) (int32, bool) {
 // lookupWithBound queries the remainder under the caller's best priority,
 // returning the winning remainder rule ID or -1 when the remainder cannot
 // beat the bound.
+//
+//nm:hotpath
 func (ra *remainderAdapter) lookupWithBound(p rules.Packet, bestPrio int32) int {
 	if ra.frozen != nil {
 		// Lock-free path: the overlay's priority-sorted additions tighten
@@ -312,8 +333,10 @@ func (ra *remainderAdapter) lookupWithBound(p rules.Packet, bestPrio int32) int 
 		return best
 	}
 	if ra.bounded != nil {
+		//nm:allow hotpath: non-freezable remainder fallback; bounded classifier may lock internally
 		return ra.bounded.LookupWithBound(p, bestPrio)
 	}
+	//nm:allow hotpath: non-freezable remainder fallback; plain classifier may lock internally
 	id := ra.plain.Lookup(p)
 	if id < 0 {
 		return rules.NoMatch
@@ -326,10 +349,13 @@ func (ra *remainderAdapter) lookupWithBound(p rules.Packet, bestPrio int32) int 
 
 // lookupUnboundedID returns the remainder's unbounded winner ID, lock-free
 // on the frozen path.
+//
+//nm:hotpath
 func (ra *remainderAdapter) lookupUnboundedID(p rules.Packet) int {
 	if ra.frozen != nil {
 		return ra.lookupWithBound(p, math.MaxInt32)
 	}
+	//nm:allow hotpath: non-freezable remainder fallback; plain classifier may lock internally
 	return ra.plain.Lookup(p)
 }
 
@@ -337,9 +363,12 @@ func (ra *remainderAdapter) lookupUnboundedID(p rules.Packet) int {
 // (or -1) for pkts[i], using the table-major frozen walk when available so
 // each table's tuple and directory stay cache-hot across the chunk. bounds
 // is caller-owned scratch of at least len(pkts) entries.
+//
+//nm:hotpath
 func (ra *remainderAdapter) lookupUnboundedBatch(pkts []rules.Packet, bounds []int32, out []int) {
 	if ra.frozen == nil {
 		for i, p := range pkts {
+			//nm:allow hotpath: non-freezable remainder fallback; plain classifier may lock internally
 			out[i] = ra.plain.Lookup(p)
 		}
 		return
@@ -354,6 +383,8 @@ func (ra *remainderAdapter) lookupUnboundedBatch(pkts []rules.Packet, bounds []i
 
 // lookupUnbounded queries the remainder in full (the §4 ablation and the
 // two-core merge), returning the match and its priority.
+//
+//nm:hotpath
 func (ra *remainderAdapter) lookupUnbounded(p rules.Packet) (id int, prio int32, ok bool) {
 	id = ra.lookupUnboundedID(p)
 	if id < 0 {

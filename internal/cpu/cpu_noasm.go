@@ -9,4 +9,6 @@ import "unsafe"
 const HasPrefetch = false
 
 // Prefetch is a no-op on portable builds.
+//
+//nm:hotpath
 func Prefetch(p unsafe.Pointer) { _ = p }

@@ -8,5 +8,6 @@ import "unsafe"
 // (PREFETCHT0). It never faults, even on wild addresses. Implemented in
 // cpu_amd64.s.
 //
+//nm:hotpath
 //go:noescape
 func Prefetch(p unsafe.Pointer)

@@ -65,7 +65,7 @@ type Rule struct {
 
 	// OnTrigger, if set, is invoked synchronously on every trigger —
 	// kill-point sweeps use it to panic or snapshot mid-operation.
-	OnTrigger func(name string)
+	OnTrigger func(name Point)
 }
 
 type point struct {
@@ -80,16 +80,16 @@ var (
 	// and Hit/Sleep return after a single atomic load.
 	armed  atomic.Int32
 	mu     sync.Mutex
-	points map[string]*point
+	points map[Point]*point
 )
 
 // Enable arms the named fault point with the given rule, replacing any
 // existing rule and resetting its counters.
-func Enable(name string, r Rule) {
+func Enable(name Point, r Rule) {
 	mu.Lock()
 	defer mu.Unlock()
 	if points == nil {
-		points = make(map[string]*point)
+		points = make(map[Point]*point)
 	}
 	p := &point{rule: r}
 	if r.Probability > 0 && r.Probability < 1 {
@@ -103,7 +103,7 @@ func Enable(name string, r Rule) {
 
 // Disable disarms the named fault point. Disarming an unarmed point is
 // a no-op.
-func Disable(name string) {
+func Disable(name Point) {
 	mu.Lock()
 	defer mu.Unlock()
 	if _, ok := points[name]; ok {
@@ -122,7 +122,7 @@ func Reset() {
 
 // Triggered reports how many times the named point has triggered since
 // it was armed. Returns 0 for unarmed points.
-func Triggered(name string) int {
+func Triggered(name Point) int {
 	mu.Lock()
 	defer mu.Unlock()
 	if p, ok := points[name]; ok {
@@ -134,7 +134,7 @@ func Triggered(name string) int {
 // Visits reports how many times the named point has been visited since
 // it was armed (whether or not it triggered). Returns 0 for unarmed
 // points.
-func Visits(name string) int {
+func Visits(name Point) int {
 	mu.Lock()
 	defer mu.Unlock()
 	if p, ok := points[name]; ok {
@@ -148,7 +148,7 @@ func Visits(name string) int {
 // point's rule triggers, Hit sleeps rule.Delay (if any), runs OnTrigger
 // (if any), and returns rule.Err (ErrInjected when nil, unless the rule
 // is a pure Delay fault, which returns nil).
-func Hit(name string) error {
+func Hit(name Point) error {
 	if armed.Load() == 0 {
 		return nil
 	}
@@ -174,7 +174,7 @@ func Hit(name string) error {
 // Sleep visits the named fault point as a pure latency point: a trigger
 // sleeps rule.Delay and never returns an error. Used on hot serving
 // paths (slow-shard faults) where errors are not representable.
-func Sleep(name string) {
+func Sleep(name Point) {
 	if armed.Load() == 0 {
 		return
 	}
@@ -192,7 +192,7 @@ func Sleep(name string) {
 
 // visit advances the named point's counters under the registry lock and
 // reports whether this visit triggers, returning a copy of the rule.
-func visit(name string) (bool, Rule) {
+func visit(name Point) (bool, Rule) {
 	mu.Lock()
 	defer mu.Unlock()
 	p, ok := points[name]

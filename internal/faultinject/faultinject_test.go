@@ -109,8 +109,8 @@ func TestPureDelayFault(t *testing.T) {
 func TestOnTrigger(t *testing.T) {
 	Reset()
 	defer Reset()
-	var fired []string
-	Enable("p", Rule{OnTrigger: func(name string) { fired = append(fired, name) }})
+	var fired []Point
+	Enable("p", Rule{OnTrigger: func(name Point) { fired = append(fired, name) }})
 	Hit("p")
 	if len(fired) != 1 || fired[0] != "p" {
 		t.Fatalf("OnTrigger fired = %v", fired)

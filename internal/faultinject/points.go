@@ -1,0 +1,65 @@
+package faultinject
+
+// Point names one fault-injection site. All points are declared below, in
+// this file only — it is the single registry the nmlint faultpoint analyzer
+// checks call sites against, so a typo'd name cannot silently arm nothing:
+// Hit/Sleep/Enable/Disable reject raw strings at lint time unless they
+// reference one of these constants. (The compiler alone cannot enforce
+// this: an untyped string constant converts to Point implicitly.)
+//
+// Naming convention: dot-separated, coarse-to-fine —
+// <layer>.<subsystem>.<operation>[.<step>].
+type Point string
+
+const (
+	// PointTableSave fires inside Table.SaveFile before the artifact is
+	// written; persistence tests use it to fail autopilot persists.
+	PointTableSave Point = "table.save"
+
+	// PointRetrainBuild fires at the start of a retrain's off-lock build
+	// phase, before any training happens.
+	PointRetrainBuild Point = "core.retrain.build"
+
+	// PointRetrainReplay fires before the retrain journal replays onto the
+	// freshly trained replacement engine.
+	PointRetrainReplay Point = "core.retrain.replay"
+
+	// PointCodecWrite fires at the head of the engine codec's WriteTo.
+	PointCodecWrite Point = "core.codec.write"
+
+	// PointCodecRead fires at the head of the engine codec's ReadTable.
+	PointCodecRead Point = "core.codec.read"
+
+	// PointClusterShardSlow is a latency point (Sleep) in the cluster's
+	// batched lookup dispatch, modeling a shard that answers late.
+	PointClusterShardSlow Point = "core.cluster.shard.slow"
+
+	// PointClusterSaveShard fires before each shard artifact write of a
+	// generation save.
+	PointClusterSaveShard Point = "core.cluster.save.shard"
+
+	// PointClusterSaveRules fires before the rules fallback artifact write
+	// of a generation save.
+	PointClusterSaveRules Point = "core.cluster.save.rules"
+
+	// PointClusterSaveManifest fires before the manifest write of a
+	// generation save.
+	PointClusterSaveManifest Point = "core.cluster.save.manifest"
+
+	// PointClusterSaveSync fires before the staged generation directory is
+	// fsynced.
+	PointClusterSaveSync Point = "core.cluster.save.sync"
+
+	// PointClusterSaveRename fires before the staged directory's atomic
+	// rename into place.
+	PointClusterSaveRename Point = "core.cluster.save.rename"
+
+	// PointClusterSaveCurrent fires before the CURRENT pointer flips to the
+	// new generation.
+	PointClusterSaveCurrent Point = "core.cluster.save.current"
+
+	// PointClusterLoadShard fires before each shard artifact read of a
+	// cluster load; corruption faults here drive the quarantine-on-load
+	// fallback.
+	PointClusterLoadShard Point = "core.cluster.load.shard"
+)

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotations is the program-wide index of //nm: directives, keyed by
+// types.Object so lookups work across packages and across test variants
+// (every variant is indexed, and a use always resolves to an object from a
+// source-checked package of the same build).
+type Annotations struct {
+	// Hotpath holds funcs and methods carrying //nm:hotpath, plus every
+	// method of an annotated interface (trusted contracts).
+	Hotpath map[types.Object]bool
+	// Immutable holds the *types.TypeName of each //nm:immutable struct.
+	Immutable map[types.Object]bool
+	// Builders maps a builder func to the set of immutable types whose
+	// fields it may assign.
+	Builders map[types.Object]map[types.Object]bool
+	// LockFields holds the struct fields (sync.Mutex / sync.RWMutex)
+	// carrying //nm:lockscope.
+	LockFields map[types.Object]bool
+
+	// Malformed collects bad annotations (unknown builder target,
+	// //nm:immutable on a non-struct, //nm:lockscope on a non-mutex).
+	// Reported under the "annotation" pseudo-analyzer.
+	Malformed []Diagnostic
+}
+
+func indexAnnotations(prog *Program) *Annotations {
+	ann := &Annotations{
+		Hotpath:    make(map[types.Object]bool),
+		Immutable:  make(map[types.Object]bool),
+		Builders:   make(map[types.Object]map[types.Object]bool),
+		LockFields: make(map[types.Object]bool),
+	}
+	targets := make(map[*Package]bool, len(prog.Targets))
+	for _, p := range prog.Targets {
+		targets[p] = true
+	}
+	for _, pkg := range prog.ByID {
+		// Malformed-annotation diagnostics come only from analysis targets:
+		// a package and its test variant parse the same files, and reporting
+		// both copies would duplicate every finding.
+		ann.indexPackage(pkg, targets[pkg])
+	}
+	return ann
+}
+
+func (ann *Annotations) indexPackage(pkg *Package, reportMalformed bool) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if reportMalformed {
+			ann.Malformed = append(ann.Malformed, Diagnostic{
+				Analyzer: "annotation", Pos: pos, Message: fmt.Sprintf(format, args...),
+			})
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				ann.indexFunc(pkg, d, report)
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					doc := ts.Doc
+					if doc == nil && len(d.Specs) == 1 {
+						doc = d.Doc
+					}
+					ann.indexType(pkg, ts, doc, report)
+				}
+			}
+		}
+	}
+}
+
+func (ann *Annotations) indexFunc(pkg *Package, d *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	obj := pkg.Info.Defs[d.Name]
+	if obj == nil {
+		return
+	}
+	for _, dir := range parseDirectives(d.Doc) {
+		switch dir.verb {
+		case "hotpath":
+			ann.Hotpath[obj] = true
+		case "builder":
+			if dir.args == "" {
+				report(dir.pos, "//nm:builder needs one or more type names")
+				continue
+			}
+			set := ann.Builders[obj]
+			if set == nil {
+				set = make(map[types.Object]bool)
+				ann.Builders[obj] = set
+			}
+			for _, name := range strings.Split(dir.args, ",") {
+				name = strings.TrimSpace(name)
+				tobj, ok := pkg.Types.Scope().Lookup(name).(*types.TypeName)
+				if !ok {
+					report(dir.pos, "//nm:builder: %q is not a type in package %s", name, pkg.PkgPath)
+					continue
+				}
+				set[tobj] = true
+			}
+		case "immutable", "lockscope":
+			report(dir.pos, "//nm:%s does not apply to a func declaration", dir.verb)
+		}
+	}
+}
+
+func (ann *Annotations) indexType(pkg *Package, ts *ast.TypeSpec, doc *ast.CommentGroup, report func(token.Pos, string, ...any)) {
+	obj := pkg.Info.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	iface, isIface := ts.Type.(*ast.InterfaceType)
+	st, isStruct := ts.Type.(*ast.StructType)
+	for _, dir := range parseDirectives(doc) {
+		switch dir.verb {
+		case "immutable":
+			if !isStruct {
+				report(dir.pos, "//nm:immutable applies only to struct types")
+				continue
+			}
+			ann.Immutable[obj] = true
+		case "hotpath":
+			if !isIface {
+				report(dir.pos, "//nm:hotpath on a type applies only to interfaces (annotate funcs individually)")
+				continue
+			}
+			for _, m := range iface.Methods.List {
+				for _, name := range m.Names {
+					if mobj := pkg.Info.Defs[name]; mobj != nil {
+						ann.Hotpath[mobj] = true
+					}
+				}
+			}
+		case "builder", "lockscope":
+			report(dir.pos, "//nm:%s does not apply to a type declaration", dir.verb)
+		}
+	}
+	// Per-method //nm:hotpath inside an interface.
+	if isIface {
+		for _, m := range iface.Methods.List {
+			if hasDirective(m.Doc, "hotpath") || hasDirective(m.Comment, "hotpath") {
+				for _, name := range m.Names {
+					if mobj := pkg.Info.Defs[name]; mobj != nil {
+						ann.Hotpath[mobj] = true
+					}
+				}
+			}
+		}
+	}
+	// //nm:lockscope on struct fields.
+	if isStruct && st.Fields != nil {
+		for _, fld := range st.Fields.List {
+			dirs := append(parseDirectives(fld.Doc), parseDirectives(fld.Comment)...)
+			for _, dir := range dirs {
+				if dir.verb != "lockscope" {
+					continue
+				}
+				for _, name := range fld.Names {
+					fobj := pkg.Info.Defs[name]
+					if fobj == nil {
+						continue
+					}
+					if !isMutexType(fobj.Type()) {
+						report(dir.pos, "//nm:lockscope applies only to sync.Mutex or sync.RWMutex fields")
+						continue
+					}
+					ann.LockFields[fobj] = true
+				}
+			}
+		}
+	}
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (or a pointer
+// to one).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// IsBuilderFor reports whether fn may assign fields of the immutable type.
+func (ann *Annotations) IsBuilderFor(fn, typ types.Object) bool {
+	return ann.Builders[fn][typ]
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// faultinjectPath is the in-module package owning the Point registry.
+const faultinjectPath = "nuevomatch/internal/faultinject"
+
+// FaultpointAnalyzer closes the silent-no-op bug class around fault
+// injection: arming or hitting a point name that no Hit/Sleep site ever
+// checks compiles fine and simply never fires. The rule is type-driven:
+// every *constant* expression of type faultinject.Point — a Hit/Sleep/
+// Enable/Disable argument, a Point("...") conversion, a table entry — must
+// be a direct reference to a constant declared in the faultinject package
+// itself (the points.go registry). Raw string literals, local aliases, and
+// concatenations are all diagnostics. Non-constant Point expressions
+// (forwarded parameters) pass: their originating call sites are checked.
+//
+// A Finish pass then cross-checks the registry against use: a declared
+// point never referenced from non-test code is dead — no Hit/Sleep site can
+// reach it (directly or via a forwarded parameter), so tests arming it would
+// silently test nothing.
+var FaultpointAnalyzer = &Analyzer{
+	Name:   "faultpoint",
+	Doc:    "fault-point names must reference constants from the internal/faultinject registry",
+	Run:    runFaultpoint,
+	Finish: finishFaultpoint,
+}
+
+type faultpointState struct {
+	// livePoints holds the names of registry constants referenced from
+	// non-test code anywhere in the program (direct Hit/Sleep arguments or
+	// forwarded through a Point-typed parameter).
+	livePoints map[string]bool
+}
+
+func runFaultpoint(pass *Pass) error {
+	st := pass.ProgramState(func() any {
+		return &faultpointState{livePoints: make(map[string]bool)}
+	}).(*faultpointState)
+
+	// The registry package itself (and its own tests) is exempt: it declares
+	// the constants and its unit tests exercise the machinery with
+	// throwaway names.
+	if pass.Pkg.Path() == faultinjectPath {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		isTestFile := strings.HasSuffix(pass.Fset.File(f.Pos()).Name(), "_test.go")
+		ast.Inspect(f, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[expr]
+			if !ok || tv.Value == nil || !isPointType(tv.Type) {
+				return true
+			}
+			// A constant-valued Point expression: fine iff it is a direct
+			// reference to a registry constant. Prune children either way —
+			// the operands of a flagged expression shouldn't re-flag.
+			if c := registryConstOf(pass.TypesInfo, expr); c != nil {
+				if !isTestFile {
+					st.livePoints[c.Name()] = true
+				}
+			} else {
+				pass.Reportf(expr.Pos(), "fault point %s is not a constant from %s/points.go (typo'd names silently never fire)",
+					tv.Value, faultinjectPath)
+			}
+			return false
+		})
+	}
+	return nil
+}
+
+// finishFaultpoint flags registry constants that no Hit/Sleep site in the
+// program references: arming such a point is a guaranteed no-op. Skipped
+// when the faultinject package wasn't part of the load (analyzer unit
+// fixtures without a registry).
+func finishFaultpoint(prog *Program, report func(Diagnostic)) error {
+	// The liveness scan is only sound over the whole module: on a narrowed
+	// load, a point's Hit/Sleep sites may simply live in packages that were
+	// not loaded.
+	if !prog.Complete {
+		return nil
+	}
+	pkg := prog.ByID[faultinjectPath]
+	if pkg == nil {
+		return nil
+	}
+	st, ok := prog.state["faultpoint"].(*faultpointState)
+	if !ok {
+		return nil
+	}
+	pointType := pkg.Types.Scope().Lookup("Point")
+	if pointType == nil {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok || !isPointType(obj.Type()) || !obj.Exported() {
+						continue
+					}
+					if !st.livePoints[obj.Name()] {
+						report(Diagnostic{
+							Analyzer: "faultpoint",
+							Pos:      name.Pos(),
+							Message:  "registry point " + obj.Name() + " is never referenced from non-test code; no Hit/Sleep site can fire it, so arming it is a silent no-op",
+						})
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isPointType reports whether t is the faultinject.Point named type (from
+// any build variant of the package).
+func isPointType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Point" && obj.Pkg() != nil &&
+		strings.HasPrefix(obj.Pkg().Path(), faultinjectPath)
+}
+
+// registryConstOf returns the faultinject-declared constant that expr
+// directly references, or nil.
+func registryConstOf(info *types.Info, expr ast.Expr) *types.Const {
+	var obj types.Object
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return nil
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil || !strings.HasPrefix(c.Pkg().Path(), faultinjectPath) {
+		return nil
+	}
+	return c
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

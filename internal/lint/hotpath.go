@@ -1,0 +1,315 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAnalyzer proves the static half of the repo's zero-alloc/zero-lock
+// lookup contract. A function annotated //nm:hotpath must not contain
+// allocating constructs (make/new/append, slice or map literals, closures,
+// string building, boxing of non-pointer-shaped values into interfaces),
+// must not touch sync primitives or channels, and may only call other
+// //nm:hotpath functions, methods of //nm:hotpath interfaces (trusted
+// contracts — the runtime zero-alloc guards cover concrete implementations),
+// or a small allowlist (sync/atomic, math, math/bits, unsafe,
+// (*sync.Pool).Get/Put, faultinject.Hit/Sleep, builtins that never
+// allocate). It is the static dual of TestLookupPathsZeroAlloc: the runtime
+// guard proves exercised paths allocate zero bytes, this analyzer proves the
+// same for branches the tests never take.
+var HotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//nm:hotpath functions must be zero-alloc, zero-lock, and only call other hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			checkHotpathBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// Funs of call expressions, so bare method/func selectors can be told
+	// apart from method values (which allocate a closure).
+	callFuns := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(c.Fun)] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hot path spawns a goroutine")
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "hot path uses defer")
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "hot path uses select")
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "hot path sends on a channel")
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path creates a closure (allocates)")
+			return false // body belongs to the closure, not this function
+		case *ast.UnaryExpr:
+			switch n.Op {
+			case token.ARROW:
+				pass.Reportf(n.Pos(), "hot path receives from a channel")
+			case token.AND:
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot path takes address of composite literal (allocates)")
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "hot path builds a slice literal (allocates)")
+			case *types.Map:
+				pass.Reportf(n.Pos(), "hot path builds a map literal (allocates)")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "hot path concatenates strings (allocates)")
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pass.Reportf(n.Pos(), "hot path ranges over a channel")
+				}
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "hot path ranges over a map (unordered, hashing)")
+				}
+			}
+		case *ast.SelectorExpr:
+			// A method used as a value (not called) allocates a bound-method
+			// closure.
+			if !callFuns[n] {
+				if fn, ok := info.Uses[n.Sel].(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil {
+					pass.Reportf(n.Pos(), "hot path takes method value %s (allocates a closure)", fn.Name())
+				}
+			}
+		case *ast.IndexExpr:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "hot path indexes a map (hashing; the frozen structures are slices for a reason)")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(pass, fd, n)
+		}
+		return true
+	})
+
+	checkHotpathBoxing(pass, fd)
+}
+
+func checkHotpathCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fun := ast.Unparen(call.Fun)
+
+	// Conversion?
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		to := info.TypeOf(call)
+		from := info.TypeOf(call.Args[0])
+		if to != nil && from != nil && stringBytesConversion(from, to) {
+			pass.Reportf(call.Pos(), "hot path converts between string and byte/rune slice (allocates)")
+		}
+		return
+	}
+
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	case *ast.FuncLit:
+		return // the closure-creation diagnostic already covers this
+	}
+
+	switch o := obj.(type) {
+	case *types.Builtin:
+		switch o.Name() {
+		case "make", "new":
+			pass.Reportf(call.Pos(), "hot path calls %s (allocates)", o.Name())
+		case "append":
+			pass.Reportf(call.Pos(), "hot path calls append (may grow and allocate)")
+		case "close":
+			pass.Reportf(call.Pos(), "hot path closes a channel")
+		case "delete":
+			pass.Reportf(call.Pos(), "hot path mutates a map")
+		case "print", "println":
+			pass.Reportf(call.Pos(), "hot path calls %s", o.Name())
+		}
+		// len/cap/copy/min/max/panic/real/imag/complex are fine.
+		return
+	case *types.Func:
+		self := info.Defs[fd.Name]
+		if o == self || pass.Prog.Ann.Hotpath[o] || hotpathAllowlisted(o) {
+			return
+		}
+		pass.Reportf(call.Pos(), "hot path calls %s, which is neither //nm:hotpath nor allowlisted", funcDisplayName(o))
+		return
+	case *types.Var, nil:
+		// Calling through a func-typed value: target unknown, contract
+		// unprovable.
+		if obj == nil {
+			// T(x) conversions through locally-aliased types land here with
+			// IsType above; anything else is a dynamic call.
+			pass.Reportf(call.Pos(), "hot path calls through a function value (target not statically known)")
+			return
+		}
+		pass.Reportf(call.Pos(), "hot path calls through function variable %s (target not statically known)", obj.Name())
+	}
+}
+
+// hotpathAllowlisted reports whether calls to fn are always permitted in hot
+// paths: non-allocating, non-blocking stdlib leaves, plus the two in-module
+// escape hatches whose disarmed fast path is a single atomic load.
+func hotpathAllowlisted(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		// Universe-scope methods: error.Error etc. Treat as unknown.
+		return false
+	}
+	switch pkg.Path() {
+	case "sync/atomic", "math", "math/bits", "unsafe":
+		return true
+	case "sync":
+		// The batch scratch pool is hot by design; Get/Put are allocation-free
+		// in steady state (the runtime guard proves it).
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if named := namedOf(recv.Type()); named != nil && named.Obj().Name() == "Pool" {
+				return fn.Name() == "Get" || fn.Name() == "Put"
+			}
+		}
+		return false
+	case "nuevomatch/internal/faultinject":
+		// Hit and Sleep are one atomic load when no fault is armed.
+		return fn.Name() == "Hit" || fn.Name() == "Sleep"
+	}
+	return false
+}
+
+// checkHotpathBoxing flags conversions of non-pointer-shaped concrete values
+// to interface types: in call arguments, assignments, and returns. Boxing a
+// pointer-shaped value (pointer, chan, map, func, unsafe.Pointer) reuses the
+// value as the interface data word and does not allocate.
+func checkHotpathBoxing(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	flag := func(e ast.Expr, to types.Type) {
+		from := info.TypeOf(e)
+		if from == nil || to == nil {
+			return
+		}
+		if !types.IsInterface(to) || types.IsInterface(from) {
+			return
+		}
+		if isPointerShaped(from) {
+			return
+		}
+		pass.Reportf(e.Pos(), "hot path boxes %s into %s (allocates)", from, to)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			tv, isConv := info.Types[ast.Unparen(n.Fun)]
+			if isConv && tv.IsType() {
+				flag(n.Args[0], info.TypeOf(n))
+				return true
+			}
+			sig, ok := info.TypeOf(n.Fun).(*types.Signature)
+			if !ok {
+				return true
+			}
+			for i, arg := range n.Args {
+				if i >= sig.Params().Len() {
+					break // variadic tail handled via slice literal checks
+				}
+				p := sig.Params().At(i)
+				if sig.Variadic() && i == sig.Params().Len()-1 && !n.Ellipsis.IsValid() {
+					if s, ok := p.Type().(*types.Slice); ok {
+						flag(arg, s.Elem())
+					}
+					continue
+				}
+				flag(arg, p.Type())
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Rhs {
+					flag(n.Rhs[i], info.TypeOf(n.Lhs[i]))
+				}
+			}
+		case *ast.ReturnStmt:
+			sig, _ := info.Defs[fd.Name].Type().(*types.Signature)
+			if sig != nil && len(n.Results) == sig.Results().Len() {
+				for i, r := range n.Results {
+					flag(r, sig.Results().At(i).Type())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPointerShaped reports whether values of t occupy a single pointer word,
+// so converting them to an interface does not allocate.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringBytesConversion reports whether from->to is a string<->[]byte or
+// string<->[]rune conversion (both directions copy).
+func stringBytesConversion(from, to types.Type) bool {
+	return (isStringType(from) && isByteOrRuneSlice(to)) ||
+		(isStringType(to) && isByteOrRuneSlice(from))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// namedOf strips pointers and returns the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// funcDisplayName renders a callee for diagnostics: pkg.Func or
+// (pkg.Type).Method.
+func funcDisplayName(fn *types.Func) string {
+	return fn.FullName()
+}

@@ -1,0 +1,208 @@
+// Package lint is nuevomatch's repo-specific static-analysis suite: a small
+// go/analysis-style framework plus four analyzers that prove, at lint time,
+// the invariants the runtime tests can only spot-check on exercised paths —
+// the zero-alloc/zero-lock lookup path (hotpath), RCU snapshot immutability
+// (rcusnapshot), the fault-point registry (faultpoint), and no blocking
+// work under the engine write mutex (lockscope).
+//
+// The framework is built on the standard library only (go/ast, go/types,
+// and `go list -export` for dependency export data) because this module
+// carries no third-party dependencies; the API deliberately mirrors
+// golang.org/x/tools/go/analysis so the analyzers would port to a
+// multichecker mechanically if the dependency ever becomes available.
+//
+// Analyzers are driven by comment directives (written like //go:directives,
+// no space after //):
+//
+//	//nm:hotpath            on a func: zero-alloc/zero-lock contract
+//	//nm:hotpath            on an interface type or interface method:
+//	                        calls through it are trusted hot-path contracts
+//	//nm:immutable          on a struct type: fields write-once via builders
+//	//nm:builder T[,U...]   on a func: may assign fields of T (same package)
+//	//nm:lockscope          on a sync.Mutex/RWMutex struct field: no
+//	                        blocking calls while held
+//	//nm:allow <analyzer>: <reason>   suppress one diagnostic, with the
+//	                        justification required (same line or own line
+//	                        immediately above the flagged one)
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. Run is invoked once per loaded
+// package; Finish, if non-nil, runs once after every package's Run, for
+// whole-program cross-checks (Pass.ProgramState carries state between the
+// two).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+	// Finish runs after all packages have been visited. It reports through
+	// the same diagnostic sink.
+	Finish func(*Program, func(Diagnostic)) error
+}
+
+// A Pass is one analyzer's view of one loaded package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Prog is the whole loaded program: the annotation index and every
+	// other package, for cross-package checks.
+	Prog *Program
+	// report is the raw sink; use Reportf.
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ProgramState returns the analyzer's whole-program scratch state, creating
+// it with init on first use. Passes run sequentially, so no locking.
+func (p *Pass) ProgramState(init func() any) any {
+	st, ok := p.Prog.state[p.Analyzer.Name]
+	if !ok {
+		st = init()
+		p.Prog.state[p.Analyzer.Name] = st
+	}
+	return st
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// All returns the full nmlint analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HotpathAnalyzer,
+		RcusnapshotAnalyzer,
+		FaultpointAnalyzer,
+		LockscopeAnalyzer,
+	}
+}
+
+// Run executes the analyzers over every analysis-target package of prog and
+// returns the surviving diagnostics (suppressed ones removed) sorted by
+// position. Suppressions lacking a justification become diagnostics
+// themselves.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	sink := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		for _, pkg := range prog.Targets {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Prog:      prog,
+				report:    sink,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ID, err)
+			}
+		}
+		if a.Finish != nil {
+			if err := a.Finish(prog, sink); err != nil {
+				return nil, fmt.Errorf("%s (finish): %w", a.Name, err)
+			}
+		}
+	}
+	diags = append(diags, prog.Ann.Malformed...)
+	diags = prog.filterSuppressed(diags)
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	diags = append(diags, prog.badAllows(ran)...)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return dedupe(diags), nil
+}
+
+// dedupe drops exact duplicates: a package and its test-augmented variant
+// share non-test files, so file-scoped findings would otherwise double up.
+func dedupe(diags []Diagnostic) []Diagnostic {
+	seen := make(map[string]bool, len(diags))
+	out := diags[:0]
+	for _, d := range diags {
+		k := fmt.Sprintf("%s|%d|%s", d.Analyzer, d.Pos, d.Message)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// --- annotation directives -------------------------------------------------
+
+const directivePrefix = "//nm:"
+
+// directive is one parsed //nm: comment.
+type directive struct {
+	pos  token.Pos
+	verb string // "hotpath", "immutable", "builder", "lockscope", "allow"
+	args string // raw text after the verb
+}
+
+func parseDirectives(cg *ast.CommentGroup) []directive {
+	if cg == nil {
+		return nil
+	}
+	var out []directive
+	for _, c := range cg.List {
+		if d, ok := parseDirective(c); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func parseDirective(c *ast.Comment) (directive, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return directive{}, false
+	}
+	rest := c.Text[len(directivePrefix):]
+	verb, args, _ := strings.Cut(rest, " ")
+	return directive{pos: c.Pos(), verb: strings.TrimSpace(verb), args: strings.TrimSpace(args)}, true
+}
+
+// allowSite is one //nm:allow suppression.
+type allowSite struct {
+	file     *token.File
+	line     int // diagnostics on this line are suppressed
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+// hasDirective reports whether the group carries the named verb.
+func hasDirective(cg *ast.CommentGroup, verb string) bool {
+	for _, d := range parseDirectives(cg) {
+		if d.verb == verb {
+			return true
+		}
+	}
+	return false
+}

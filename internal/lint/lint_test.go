@@ -1,0 +1,269 @@
+package lint_test
+
+import (
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"nuevomatch/internal/lint"
+)
+
+// The analyzer suites load each fixture tree from testdata/src/<name> into a
+// throwaway module named `nuevomatch` (the analyzers key on in-module import
+// paths like nuevomatch/internal/faultinject) and compare the diagnostics
+// against `// want "regex"` comments in the fixtures:
+//
+//	code() // want "re1" "re2"    diagnostics expected on this line
+//	// want-above "re"            diagnostic expected on the previous line
+//	                              (for findings reported at a comment, where
+//	                              a trailing want cannot share the line)
+//
+// Matching is exact in both directions: every want must be matched by a
+// distinct diagnostic on its line, and every diagnostic must be matched by a
+// want.
+
+func runFixture(t *testing.T, fixture string, analyzers []*lint.Analyzer) (*lint.Program, []lint.Diagnostic, string) {
+	t.Helper()
+	dir, err := filepath.EvalSymlinks(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyTree(t, filepath.Join("testdata", "src", fixture), dir)
+	gomod := "module nuevomatch\n\ngo 1.24\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lint.Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load(%s): %v", fixture, err)
+	}
+	diags, err := lint.Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", fixture, err)
+	}
+	return prog, diags, dir
+}
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+var (
+	wantRe    = regexp.MustCompile(`// want(-above)? (.+)$`)
+	wantArgRe = regexp.MustCompile(`"([^"]*)"`)
+)
+
+// checkWants verifies diags against the want comments of every fixture file
+// under dir, in both directions.
+func checkWants(t *testing.T, prog *lint.Program, diags []lint.Diagnostic, dir string) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]string)
+	err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(b), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			ln := i + 1
+			if m[1] == "-above" {
+				ln--
+			}
+			args := wantArgRe.FindAllStringSubmatch(m[2], -1)
+			if len(args) == 0 {
+				t.Errorf("%s:%d: malformed want comment (no quoted regex)", p, i+1)
+			}
+			for _, am := range args {
+				wants[key{p, ln}] = append(wants[key{p, ln}], am[1])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remaining := make(map[key][]lint.Diagnostic)
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		remaining[k] = append(remaining[k], d)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			rx, err := regexp.Compile(re)
+			if err != nil {
+				t.Errorf("%s:%d: bad want regex %q: %v", k.file, k.line, re, err)
+				continue
+			}
+			found := -1
+			for i, d := range remaining[k] {
+				if rx.MatchString(d.Message) {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+				continue
+			}
+			remaining[k] = append(remaining[k][:found], remaining[k][found+1:]...)
+		}
+	}
+	for k, ds := range remaining {
+		for _, d := range ds {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", k.file, k.line, d.Analyzer, d.Message)
+		}
+	}
+}
+
+func TestHotpathAnalyzer(t *testing.T) {
+	prog, diags, dir := runFixture(t, "hotpath", []*lint.Analyzer{lint.HotpathAnalyzer})
+	checkWants(t, prog, diags, dir)
+}
+
+func TestRcusnapshotAnalyzer(t *testing.T) {
+	prog, diags, dir := runFixture(t, "rcusnapshot", []*lint.Analyzer{lint.RcusnapshotAnalyzer})
+	checkWants(t, prog, diags, dir)
+}
+
+func TestFaultpointAnalyzer(t *testing.T) {
+	prog, diags, dir := runFixture(t, "faultpoint", []*lint.Analyzer{lint.FaultpointAnalyzer})
+	checkWants(t, prog, diags, dir)
+}
+
+func TestLockscopeAnalyzer(t *testing.T) {
+	prog, diags, dir := runFixture(t, "lockscope", []*lint.Analyzer{lint.LockscopeAnalyzer})
+	checkWants(t, prog, diags, dir)
+}
+
+// TestFaultpointNarrowedLoad pins the Complete gate: under a narrowed load
+// (a non-recursive pattern), the dead-registry-point scan must not fire —
+// "unreferenced" could just mean "referenced from a package not loaded" —
+// while the per-site constant-origin rule still applies.
+func TestFaultpointNarrowedLoad(t *testing.T) {
+	dir, err := filepath.EvalSymlinks(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyTree(t, filepath.Join("testdata", "src", "faultpoint"), dir)
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module nuevomatch\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lint.Load(dir, []string{"./faultpoint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Complete {
+		t.Error("narrowed load reported Complete")
+	}
+	diags, err := lint.Run(prog, []*lint.Analyzer{lint.FaultpointAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOrigin := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "never referenced") {
+			t.Errorf("liveness scan fired on a narrowed load: %s", d.Message)
+		}
+		if strings.Contains(d.Message, "is not a constant from") {
+			sawOrigin = true
+		}
+	}
+	if !sawOrigin {
+		t.Error("constant-origin diagnostics missing under narrowed load")
+	}
+}
+
+func TestAllowSuppression(t *testing.T) {
+	prog, diags, dir := runFixture(t, "allow", []*lint.Analyzer{lint.HotpathAnalyzer})
+	checkWants(t, prog, diags, dir)
+}
+
+func TestMalformedAnnotations(t *testing.T) {
+	// No analyzers: malformed-directive findings come from the annotation
+	// index itself and are reported on every Run.
+	prog, diags, dir := runFixture(t, "annotation", nil)
+	checkWants(t, prog, diags, dir)
+}
+
+// TestRepoClean is the gate the CI lint job enforces: the full suite over
+// the real repository must report nothing. Any intentional exception in the
+// tree carries a justified //nm:allow, so a finding here is either a real
+// regression or a new exception that needs writing down.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lint.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := lint.Run(prog, lint.All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
+
+// TestCmdNmlint smoke-tests the CLI end to end: `go run ./cmd/nmlint ./...`
+// over the repo must exit 0 and print nothing.
+func TestCmdNmlint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the nmlint command")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/nmlint", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("nmlint failed: %v\n%s", err, out)
+	}
+	if len(strings.TrimSpace(string(out))) != 0 {
+		t.Fatalf("nmlint produced output on a clean tree:\n%s", out)
+	}
+}

@@ -1,0 +1,429 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// The loader typechecks every main-module package (including test variants)
+// from source and imports everything else — the standard library — from the
+// compiler export data that `go list -export` produces in the build cache.
+// That keeps the whole pipeline offline and dependency-free: the stdlib gc
+// importer reads the export files directly, and in-module imports resolve
+// to the source-checked packages so object identities line up across the
+// program.
+
+// Package is one source-typechecked package of the loaded program.
+type Package struct {
+	// ID is go list's ImportPath, which for test variants carries the
+	// " [pkg.test]" suffix that distinguishes them from the plain package.
+	ID string
+	// PkgPath is the plain import path (ForTest for augmented variants).
+	PkgPath string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// TestVariant marks the test-augmented build of a package ("p [p.test]")
+	// and external test packages ("p_test").
+	TestVariant bool
+}
+
+// Program is a loaded, typechecked module ready for analysis.
+type Program struct {
+	Fset *token.FileSet
+	// Targets are the packages analyzers visit: each compiled file of the
+	// module exactly once (the test-augmented variant supersedes the plain
+	// package, which is kept only for import resolution).
+	Targets []*Package
+	// ByID indexes every source-checked package, including non-target ones.
+	ByID map[string]*Package
+	// Ann is the program-wide annotation index.
+	Ann *Annotations
+	// Complete reports that the load covered the whole main module (a
+	// recursive pattern rooted at the module directory). Whole-program
+	// cross-checks — the dead-registry-point scan — are only sound when it
+	// is set: on a narrowed load, "unreferenced" may just mean "referenced
+	// from a package we did not load".
+	Complete bool
+
+	state  map[string]any
+	allows []*allowSite
+}
+
+// listPkg mirrors the `go list -json` fields the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	ForTest    string
+	DepOnly    bool
+	Module     *struct {
+		Path string
+		Dir  string
+		Main bool
+	}
+	Error *struct {
+		Err string
+	}
+	Incomplete bool
+}
+
+// Load runs `go list` in dir over patterns and typechecks the main-module
+// packages (test variants included) from source.
+func Load(dir string, patterns []string) (*Program, error) {
+	args := append([]string{
+		"list", "-e", "-test", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,Imports,ImportMap,Standard,ForTest,DepOnly,Module,Error,Incomplete",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+		srcList: make(map[string]*listPkg),
+		srcPkgs: make(map[string]*Package),
+	}
+	for _, lp := range pkgs {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			ld.exports[lp.ImportPath] = lp.Export
+		}
+		if lp.Module != nil && lp.Module.Main && !lp.Standard &&
+			lp.Name != "" && !strings.HasSuffix(lp.ImportPath, ".test") {
+			ld.srcList[lp.ImportPath] = lp
+		}
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", ld.lookupExport)
+
+	// Typecheck every source package (ensure recurses through in-module
+	// imports first).
+	ids := make([]string, 0, len(ld.srcList))
+	for id := range ld.srcList {
+		ids = append(ids, id)
+	}
+	// Deterministic order keeps error output stable.
+	sortStrings(ids)
+	for _, id := range ids {
+		if _, err := ld.ensure(id); err != nil {
+			return nil, err
+		}
+	}
+
+	prog := &Program{
+		Fset:  ld.fset,
+		ByID:  ld.srcPkgs,
+		state: make(map[string]any),
+	}
+	// A package whose test-augmented variant was loaded contributes its
+	// files through that variant; analyzing both would just duplicate work.
+	augmented := make(map[string]bool)
+	for id, lp := range ld.srcList {
+		if lp.ForTest != "" && packageVariantIsAugmented(lp) {
+			augmented[lp.ForTest] = true
+			_ = id
+		}
+	}
+	for _, id := range ids {
+		lp := ld.srcList[id]
+		if lp.ForTest == "" && augmented[lp.ImportPath] {
+			continue
+		}
+		prog.Targets = append(prog.Targets, ld.srcPkgs[id])
+	}
+	prog.Ann = indexAnnotations(prog)
+	prog.allows = collectAllows(prog)
+	prog.Complete = loadIsComplete(dir, patterns, pkgs)
+	return prog, nil
+}
+
+// loadIsComplete reports whether the load covered the entire main module:
+// a recursive pattern, evaluated from the module root itself.
+func loadIsComplete(dir string, patterns []string, pkgs []*listPkg) bool {
+	recursive := false
+	for _, p := range patterns {
+		if p == "./..." || p == "all" {
+			recursive = true
+			break
+		}
+	}
+	if !recursive {
+		return false
+	}
+	moduleDir := ""
+	for _, lp := range pkgs {
+		if lp.Module != nil && lp.Module.Main && lp.Module.Dir != "" {
+			moduleDir = lp.Module.Dir
+			break
+		}
+	}
+	if moduleDir == "" {
+		return false
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return false
+	}
+	real, err1 := filepath.EvalSymlinks(abs)
+	realMod, err2 := filepath.EvalSymlinks(moduleDir)
+	return err1 == nil && err2 == nil && real == realMod
+}
+
+// packageVariantIsAugmented distinguishes "p [p.test]" (augmented in-package
+// variant, same package name) from "p_test [p.test]" (external test
+// package).
+func packageVariantIsAugmented(lp *listPkg) bool {
+	return !strings.HasSuffix(lp.Name, "_test")
+}
+
+type loader struct {
+	fset    *token.FileSet
+	exports map[string]string   // import path -> export data file
+	srcList map[string]*listPkg // go list records of source-checked packages
+	srcPkgs map[string]*Package // completed packages
+	gc      types.Importer
+	pending []string // ensure stack, for cycle reporting
+}
+
+func (l *loader) lookupExport(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no export data for %q (not in go list -deps closure)", path)
+	}
+	return os.Open(f)
+}
+
+// ensure returns the typechecked package for id, building it (and its
+// in-module dependencies) on demand.
+func (l *loader) ensure(id string) (*Package, error) {
+	if p, ok := l.srcPkgs[id]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s (%v)", id, l.pending)
+		}
+		return p, nil
+	}
+	lp := l.srcList[id]
+	if lp == nil {
+		return nil, fmt.Errorf("lint: internal error: %s not in source set", id)
+	}
+	l.srcPkgs[id] = nil // cycle marker
+	l.pending = append(l.pending, id)
+	defer func() { l.pending = l.pending[:len(l.pending)-1] }()
+
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+
+	pkgPath := lp.ImportPath
+	if lp.ForTest != "" && packageVariantIsAugmented(lp) {
+		pkgPath = lp.ForTest
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := &types.Config{
+		Importer: &pkgImporter{l: l, lp: lp},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(pkgPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: typecheck %s: %v", id, typeErrs[0])
+	}
+	p := &Package{
+		ID:          id,
+		PkgPath:     pkgPath,
+		Files:       files,
+		Types:       tpkg,
+		Info:        info,
+		TestVariant: lp.ForTest != "",
+	}
+	l.srcPkgs[id] = p
+	return p, nil
+}
+
+// pkgImporter resolves one package's imports: in-module source packages by
+// identity, everything else through gc export data. ImportMap rewires test
+// imports ("p" -> "p [p.test]") and vendoring.
+type pkgImporter struct {
+	l  *loader
+	lp *listPkg
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	resolved := path
+	if r, ok := pi.lp.ImportMap[path]; ok {
+		resolved = r
+	}
+	if _, ok := pi.l.srcList[resolved]; ok {
+		p, err := pi.l.ensure(resolved)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return pi.l.gc.Import(resolved)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// --- suppression handling --------------------------------------------------
+
+// collectAllows scans every target file for //nm:allow comments.
+func collectAllows(prog *Program) []*allowSite {
+	var out []*allowSite
+	seen := make(map[token.Pos]bool)
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseDirective(c)
+					if !ok || d.verb != "allow" || seen[c.Pos()] {
+						continue
+					}
+					seen[c.Pos()] = true
+					name, reason, found := strings.Cut(d.args, ":")
+					tf := prog.Fset.File(c.Pos())
+					site := &allowSite{
+						file:     tf,
+						line:     tf.Line(c.Pos()),
+						analyzer: strings.TrimSpace(name),
+						reason:   strings.TrimSpace(reason),
+						pos:      c.Pos(),
+					}
+					if !found {
+						site.reason = ""
+					}
+					out = append(out, site)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// filterSuppressed removes diagnostics covered by a justified //nm:allow on
+// the same line or the line immediately above.
+func (prog *Program) filterSuppressed(diags []Diagnostic) []Diagnostic {
+	if len(prog.allows) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		tf := prog.Fset.File(d.Pos)
+		line := tf.Line(d.Pos)
+		suppressed := false
+		for _, a := range prog.allows {
+			if a.file != tf || a.analyzer != d.Analyzer || a.reason == "" {
+				continue
+			}
+			if a.line == line || a.line == line-1 {
+				a.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// badAllows flags suppressions without a justification, suppressions naming
+// an analyzer that does not exist, and suppressions that matched nothing
+// (stale allows hide future regressions). Staleness is only judged against
+// analyzers that actually ran (ran): under -only, an allow for a skipped
+// analyzer is not stale, just unexercised.
+func (prog *Program) badAllows(ran map[string]bool) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, a := range prog.allows {
+		switch {
+		case a.analyzer == "":
+			out = append(out, Diagnostic{Analyzer: "allow", Pos: a.pos,
+				Message: "malformed //nm:allow: want //nm:allow <analyzer>: <reason>"})
+		case !known[a.analyzer]:
+			out = append(out, Diagnostic{Analyzer: "allow", Pos: a.pos,
+				Message: fmt.Sprintf("//nm:allow %s names unknown analyzer %q (have %s)", a.analyzer, a.analyzer, knownAnalyzerList())})
+		case a.reason == "":
+			out = append(out, Diagnostic{Analyzer: "allow", Pos: a.pos,
+				Message: fmt.Sprintf("//nm:allow %s without a justification (want //nm:allow %s: <reason>)", a.analyzer, a.analyzer)})
+		case !a.used && ran[a.analyzer]:
+			out = append(out, Diagnostic{Analyzer: "allow", Pos: a.pos,
+				Message: fmt.Sprintf("stale //nm:allow %s: no %s diagnostic on this or the next line", a.analyzer, a.analyzer)})
+		}
+	}
+	return out
+}
+
+func knownAnalyzerList() string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}

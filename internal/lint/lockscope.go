@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockscopeAnalyzer guards the update side's known stall vector: blocking
+// while holding a //nm:lockscope mutex (the engine/cluster write mutex)
+// stalls every writer — and during publish, the retrain pipeline — behind
+// disk or timer latency. Within each function body it tracks, lexically,
+// which annotated mutex fields are held (Lock/Unlock calls, with
+// defer-Unlock holding to function end) and flags calls into blocking
+// stdlib surface (file/dir I/O, time.Sleep, faultinject.Sleep, net,
+// os/exec, syscall) made while a lock is held. Functions named *Locked are
+// analyzed as if an annotated lock were already held at entry, and
+// acquiring one inside them is a double-lock diagnostic.
+//
+// The tracking is lexical, not path- or call-graph-sensitive: a helper
+// that does I/O, called under the lock, is only caught if the helper is
+// named *Locked. That convention is load-bearing — keep it.
+var LockscopeAnalyzer = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no blocking calls while holding a //nm:lockscope mutex",
+	Run:  runLockscope,
+}
+
+func runLockscope(pass *Pass) error {
+	if len(pass.Prog.Ann.LockFields) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockScopes(pass, fd)
+		}
+	}
+	return nil
+}
+
+// lockEvent is one occurrence relevant to lock tracking, replayed in source
+// order.
+type lockEvent struct {
+	pos  token.Pos
+	kind int // evLock, evUnlock, evDeferUnlock, evBlocking
+	fld  types.Object
+	what string // description of the blocking call
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+	evBlocking
+)
+
+func checkLockScopes(pass *Pass, fd *ast.FuncDecl) {
+	assumed := strings.HasSuffix(fd.Name.Name, "Locked")
+	var events []lockEvent
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure body runs whenever the closure runs — goroutines
+			// don't inherit the lock, and deferred closures are beyond the
+			// lexical model. Skip.
+			return false
+		case *ast.DeferStmt:
+			if fld, op := lockFieldOp(pass, n.Call); fld != nil && op == "Unlock" {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evDeferUnlock, fld: fld})
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if fld, op := lockFieldOp(pass, n); fld != nil {
+				switch op {
+				case "Lock":
+					events = append(events, lockEvent{pos: n.Pos(), kind: evLock, fld: fld})
+				case "Unlock":
+					events = append(events, lockEvent{pos: n.Pos(), kind: evUnlock, fld: fld})
+				}
+				// RLock/RUnlock (read side) deliberately untracked: readers
+				// are lock-free by design and the write mutex is the stall
+				// vector.
+				return true
+			}
+			if what := blockingCall(pass, n); what != "" {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evBlocking, what: what})
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := make(map[types.Object]bool)
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			if held[ev.fld] {
+				pass.Reportf(ev.pos, "%s locked while already held (double lock deadlocks)", fieldDisplay(ev.fld))
+			} else if assumed {
+				pass.Reportf(ev.pos, "%s acquires %s, but *Locked functions run with the lock already held", fd.Name.Name, fieldDisplay(ev.fld))
+			}
+			held[ev.fld] = true
+		case evUnlock:
+			delete(held, ev.fld)
+		case evDeferUnlock:
+			held[ev.fld] = true // held to end of function
+		case evBlocking:
+			if len(held) > 0 || assumed {
+				pass.Reportf(ev.pos, "%s while holding %s (stalls all writers)", ev.what, heldDisplay(held, assumed))
+			}
+		}
+	}
+}
+
+// lockFieldOp reports whether call is <expr>.<field>.Lock/Unlock/... on a
+// //nm:lockscope field, returning the field object and method name.
+func lockFieldOp(pass *Pass, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	s := pass.TypesInfo.Selections[recv]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	fld := s.Obj()
+	if !pass.Prog.Ann.LockFields[fld] {
+		return nil, ""
+	}
+	return fld, fn.Name()
+}
+
+// blockingCall returns a description if call reaches blocking stdlib
+// surface, else "".
+func blockingCall(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch path {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+		// timer/ticker construction is fine; waiting on them needs a channel
+		// op, which closures/selects sit outside this lexical model anyway.
+		return ""
+	case "os", "net", "os/exec", "syscall", "io/ioutil":
+		return path + "." + name + " (I/O)"
+	case "io":
+		switch name {
+		case "Copy", "CopyN", "CopyBuffer", "ReadAll", "ReadFull", "WriteString":
+			return "io." + name + " (I/O)"
+		}
+		return ""
+	case faultinjectPath:
+		if name == "Sleep" {
+			return "faultinject.Sleep"
+		}
+		return ""
+	case "bufio":
+		if name == "Flush" {
+			return "bufio.Flush (I/O)"
+		}
+		return ""
+	}
+	// Methods on os.File, net.Conn etc.: receiver package check above
+	// already covers them (fn.Pkg() is "os"/"net").
+	return ""
+}
+
+func fieldDisplay(fld types.Object) string {
+	v, ok := fld.(*types.Var)
+	if !ok {
+		return fld.Name()
+	}
+	return v.Pkg().Name() + " mutex ." + v.Name()
+}
+
+func heldDisplay(held map[types.Object]bool, assumed bool) string {
+	var names []string
+	for f := range held {
+		names = append(names, "."+f.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 && assumed {
+		return "the caller's lock (*Locked function)"
+	}
+	return "mutex " + strings.Join(names, ", ")
+}

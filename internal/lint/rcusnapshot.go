@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RcusnapshotAnalyzer proves the write-side half of the RCU discipline: a
+// struct annotated //nm:immutable may only have its fields assigned inside
+// functions annotated //nm:builder for that type. Everywhere else, a write
+// that can reach shared memory — through a pointer, or through a slice
+// element hanging off an immutable value — is a diagnostic, because the
+// value may already have been published through an atomic.Pointer and
+// concurrent readers see it without synchronization.
+//
+// Composite literals are always permitted (they produce fresh values), and
+// so are field writes on a plain value-typed local (a private copy): only
+// writes that can alias published memory are flagged.
+var RcusnapshotAnalyzer = &Analyzer{
+	Name: "rcusnapshot",
+	Doc:  "//nm:immutable struct fields may only be assigned in //nm:builder functions",
+	Run:  runRcusnapshot,
+}
+
+func runRcusnapshot(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fnObj := pass.TypesInfo.Defs[fd.Name]
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkImmutableWrite(pass, fnObj, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkImmutableWrite(pass, fnObj, n.X)
+				case *ast.CallExpr:
+					// copy(dst, src) mutates dst's backing array.
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+						if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "copy" && len(n.Args) == 2 {
+							checkImmutableWrite(pass, fnObj, n.Args[0])
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkImmutableWrite reports a diagnostic if lhs writes (or exposes for
+// writing) a field owned by an //nm:immutable struct and the enclosing
+// function is not a builder for that struct.
+func checkImmutableWrite(pass *Pass, fnObj types.Object, lhs ast.Expr) {
+	owner, fieldName := immutableFieldOwner(pass, lhs)
+	if owner == nil {
+		return
+	}
+	if fnObj != nil && pass.Prog.Ann.IsBuilderFor(fnObj, owner) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write to field %s of //nm:immutable %s outside a //nm:builder %s function",
+		fieldName, owner.Name(), owner.Name())
+}
+
+// immutableFieldOwner walks an lvalue chain and returns the //nm:immutable
+// type whose field the write lands in, if the write can reach shared memory.
+// It returns nil when the chain roots in a plain value-typed local with no
+// pointer or slice traversal below the field access (a private copy).
+func immutableFieldOwner(pass *Pass, lhs ast.Expr) (owner types.Object, field string) {
+	info := pass.TypesInfo
+	ann := pass.Prog.Ann
+	for {
+		lhs = ast.Unparen(lhs)
+		switch e := lhs.(type) {
+		case *ast.SelectorExpr:
+			sel := info.Selections[e]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				// Qualified identifier (pkg.Var) or method: not a field write
+				// we track.
+				return nil, ""
+			}
+			if named := namedOf(sel.Recv()); named != nil && ann.Immutable[named.Obj()] {
+				// Writing a field of an immutable type. Allowed only when
+				// the receiver chain is provably a private value copy — which
+				// a pointer receiver never is: the deref at this selection
+				// already reaches shared memory.
+				if _, viaPtr := sel.Recv().(*types.Pointer); !viaPtr && valueCopyRoot(pass, e.X) {
+					return nil, ""
+				}
+				return named.Obj(), e.Sel.Name
+			}
+			// Not (directly) an immutable owner; the write might still land
+			// inside an immutable value further down, e.g. snap.inner.f where
+			// inner is an immutable-typed value field of a mutable struct —
+			// keep walking toward the root.
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// valueCopyRoot reports whether expr denotes memory private to the enclosing
+// function: a chain of value-typed selections/array indexes rooted at a
+// non-pointer local variable. Any pointer deref, slice element, call result,
+// or pointer-typed variable on the way means the memory may be shared.
+func valueCopyRoot(pass *Pass, expr ast.Expr) bool {
+	info := pass.TypesInfo
+	for {
+		expr = ast.Unparen(expr)
+		switch e := expr.(type) {
+		case *ast.Ident:
+			v, ok := info.Uses[e].(*types.Var)
+			if !ok {
+				return false
+			}
+			if v.IsField() {
+				return false
+			}
+			if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+				return false
+			}
+			// A plain value-typed local (or parameter): a private copy.
+			// Package-level vars are shared even when value-typed.
+			return v.Parent() != v.Pkg().Scope()
+		case *ast.SelectorExpr:
+			sel := info.Selections[e]
+			if sel == nil || sel.Kind() != types.FieldVal || sel.Indirect() {
+				return false
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			if t := info.TypeOf(e.X); t != nil {
+				if _, isArray := t.Underlying().(*types.Array); isArray {
+					expr = e.X // array element lives inside the value
+					continue
+				}
+			}
+			return false // slice element: shared backing array
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Package allow exercises the //nm:allow suppression grammar: justified
+// allows suppress (same line or the line above), unjustified allows do not
+// and are flagged, stale and malformed allows are flagged.
+package allow
+
+//nm:hotpath
+func suppressedOK() {
+	//nm:allow hotpath: fixture exercises line-above suppression
+	_ = make([]int, 1)
+	_ = make([]int, 2) //nm:allow hotpath: fixture exercises same-line suppression
+}
+
+//nm:hotpath
+func unjustified() {
+	//nm:allow hotpath
+	// want-above "//nm:allow hotpath without a justification"
+	_ = make([]int, 3) // want "hot path calls make"
+}
+
+//nm:hotpath
+func malformed() {
+	//nm:allow
+	// want-above "malformed //nm:allow"
+	_ = make([]int, 4) // want "hot path calls make"
+}
+
+func stale() {
+	//nm:allow hotpath: justified but nothing here is flagged
+	// want-above "stale //nm:allow hotpath"
+}
+
+func unknownAnalyzer() {
+	//nm:allow gofmt: not an nmlint analyzer
+	// want-above "names unknown analyzer"
+}
+
+// notStaleWhenSkipped is justified and matches nothing, but it names an
+// analyzer the TestAllowSuppression run does not include — under a partial
+// run (-only) that is unexercised, not stale.
+func notStaleWhenSkipped() {
+	//nm:allow lockscope: exercises the partial-run staleness gate
+}

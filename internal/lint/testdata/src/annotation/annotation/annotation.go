@@ -1,0 +1,30 @@
+// Package annotation exercises the malformed-directive diagnostics of the
+// annotation index itself. The want-above comments trail the declaration
+// line because the diagnostic lands on the directive comment itself, one
+// line up.
+package annotation
+
+import "sync"
+
+//nm:immutable
+func notAType() {} // want-above "//nm:immutable does not apply to a func declaration"
+
+//nm:builder
+func noTarget() {} // want-above "//nm:builder needs one or more type names"
+
+//nm:builder missing
+func badTarget() {} // want-above "is not a type in package"
+
+//nm:hotpath
+type notIface struct { // want-above "//nm:hotpath on a type applies only to interfaces"
+	//nm:lockscope
+	n int // want-above "//nm:lockscope applies only to sync.Mutex or sync.RWMutex fields"
+
+	mu sync.Mutex //nm:lockscope
+}
+
+//nm:lockscope
+type wrongVerb struct{} // want-above "//nm:lockscope does not apply to a type declaration"
+
+//nm:immutable
+type notAStruct int // want-above "//nm:immutable applies only to struct types"

@@ -1,0 +1,20 @@
+// Package faultpoint exercises the constant-origin rule: every constant
+// Point expression must reference the registry directly.
+package faultpoint
+
+import "nuevomatch/internal/faultinject"
+
+func hits() {
+	_ = faultinject.Hit(faultinject.PointGood)        // ok: registry constant
+	_ = faultinject.Hit("raw.name")                   // want "fault point .raw.name. is not a constant from"
+	faultinject.Sleep(faultinject.Point("converted")) // want "fault point .converted. is not a constant from"
+	const local faultinject.Point = "local.alias"     // want "fault point .local.alias. is not a constant from"
+	_ = faultinject.Hit(local)                        // want "fault point .local.alias. is not a constant from"
+	forwarded(faultinject.PointGood)
+}
+
+// forwarded passes a non-constant Point through: the parameter itself is
+// fine, its call sites are where the rule bites.
+func forwarded(p faultinject.Point) {
+	_ = faultinject.Hit(p)
+}

@@ -1,0 +1,11 @@
+package faultpoint
+
+import "nuevomatch/internal/faultinject"
+
+// armInTest exercises the test side: Enable/Disable must also name declared
+// points, and a point referenced only here stays dead in the registry.
+func armInTest() {
+	faultinject.Enable(faultinject.PointGood, 1)
+	faultinject.Enable("bogus.point", 1) // want "fault point .bogus.point. is not a constant from"
+	faultinject.Disable(faultinject.PointTestOnly)
+}

@@ -1,0 +1,24 @@
+// Package faultinject is a fixture registry for the faultpoint analyzer:
+// constant Point expressions elsewhere must reference these declarations,
+// and exported points no non-test code references are flagged dead.
+package faultinject
+
+type Point string
+
+const (
+	PointGood     Point = "fixture.good"
+	PointTestOnly Point = "fixture.testonly" // want "registry point PointTestOnly is never referenced from non-test code"
+
+	// pointUnexported is exempt from the liveness cross-check.
+	pointUnexported Point = "fixture.unexported"
+)
+
+func Hit(p Point) error { _ = p; return nil }
+
+func Sleep(p Point) { _ = p }
+
+func Enable(p Point, times int) { _, _ = p, times }
+
+func Disable(p Point) { _ = p }
+
+func usePrivate() { _ = pointUnexported }

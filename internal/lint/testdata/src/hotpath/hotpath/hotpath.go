@@ -1,0 +1,102 @@
+// Package hotpath exercises every diagnostic of the hotpath analyzer, plus
+// the allowlist and trusted-interface negative cases.
+package hotpath
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nuevomatch/internal/faultinject"
+)
+
+type box struct {
+	vals []int
+	m    map[int]int
+	ctr  atomic.Int64
+	pool sync.Pool
+	mu   sync.Mutex
+}
+
+func (b *box) method() int { return len(b.vals) }
+
+//nm:hotpath
+func helper(x int) int { return x + 1 }
+
+func cold() int { return 0 }
+
+// frozenIface is a trusted contract: calls through it are hot by fiat.
+//
+//nm:hotpath
+type frozenIface interface {
+	Lookup(x int) int
+}
+
+type mixedIface interface {
+	// Hot carries the contract individually.
+	//
+	//nm:hotpath
+	Hot() int
+	Cold() int
+}
+
+//nm:hotpath
+func clean(b *box, f frozenIface, skip []int) int {
+	s := helper(len(skip))
+	for _, v := range b.vals {
+		s += v
+	}
+	b.ctr.Add(1)
+	if err := faultinject.Hit(faultinject.PointHot); err != nil {
+		return -1
+	}
+	scr := b.pool.Get()
+	b.pool.Put(scr)
+	s += f.Lookup(s)
+	return s
+}
+
+//nm:hotpath
+func viaMixed(m mixedIface) int {
+	return m.Hot() + m.Cold() // want "hot path calls .nuevomatch/hotpath.mixedIface..Cold, which is neither"
+}
+
+//nm:hotpath
+func boxesReturn(x int) any {
+	return x // want "hot path boxes int into"
+}
+
+//nm:hotpath
+func bad(b *box, ch chan int, s1, s2 string) {
+	go helper(1)    // want "hot path spawns a goroutine"
+	defer helper(2) // want "hot path uses defer"
+	ch <- 1         // want "hot path sends on a channel"
+	<-ch            // want "hot path receives from a channel"
+	for range ch {  // want "hot path ranges over a channel"
+	}
+	select { // want "hot path uses select"
+	default:
+	}
+	close(ch)                  // want "hot path closes a channel"
+	_ = make([]int, 4)         // want "hot path calls make"
+	_ = new(box)               // want "hot path calls new"
+	b.vals = append(b.vals, 1) // want "hot path calls append"
+	_ = []int{1, 2}            // want "hot path builds a slice literal"
+	_ = map[int]int{}          // want "hot path builds a map literal"
+	_ = &box{}                 // want "hot path takes address of composite literal"
+	_ = b.m[3]                 // want "hot path indexes a map"
+	for range b.m {            // want "hot path ranges over a map"
+	}
+	delete(b.m, 1) // want "hot path mutates a map"
+	println(0)     // want "hot path calls println"
+	_ = cold()     // want "hot path calls nuevomatch/hotpath.cold, which is neither"
+	b.mu.Lock()    // want "hot path calls ..sync.Mutex..Lock, which is neither"
+	_ = s1 + s2    // want "hot path concatenates strings"
+	_ = []byte(s1) // want "hot path converts between string and byte/rune slice"
+	_ = b.method   // want "hot path takes method value method"
+	_ = func() {}  // want "hot path creates a closure"
+	fv := cold
+	_ = fv() // want "hot path calls through function variable fv"
+	var i any
+	i = 42 // want "hot path boxes int into"
+	_ = i
+}

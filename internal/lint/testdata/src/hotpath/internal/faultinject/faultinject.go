@@ -1,0 +1,13 @@
+// Package faultinject is a minimal stand-in for the real registry: the
+// hotpath analyzer allowlists Hit/Sleep by this exact import path, so the
+// fixture module declares it under the same module name.
+package faultinject
+
+type Point string
+
+// PointHot is referenced by the hotpath fixture's clean function.
+const PointHot Point = "fixture.hot"
+
+func Hit(p Point) error { _ = p; return nil }
+
+func Sleep(p Point) { _ = p }

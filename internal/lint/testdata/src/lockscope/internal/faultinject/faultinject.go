@@ -1,0 +1,9 @@
+// Package faultinject is a fixture stand-in so the lockscope analyzer's
+// faultinject.Sleep blocking rule resolves the real import path.
+package faultinject
+
+type Point string
+
+const PointSlow Point = "fixture.slow"
+
+func Sleep(p Point) { _ = p }

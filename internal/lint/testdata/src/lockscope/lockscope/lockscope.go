@@ -1,0 +1,78 @@
+// Package lockscope exercises blocking-under-lock tracking: Lock/Unlock
+// pairs, defer-Unlock, the *Locked naming convention, double locks, and the
+// closure escape hatch.
+package lockscope
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"nuevomatch/internal/faultinject"
+)
+
+type engine struct {
+	// mu guards the write side.
+	//
+	//nm:lockscope
+	mu sync.Mutex
+
+	other sync.Mutex
+	n     int
+}
+
+func (e *engine) cleanUpdate() {
+	e.mu.Lock()
+	e.n++
+	e.mu.Unlock()
+	time.Sleep(time.Millisecond) // ok: lock released
+}
+
+func (e *engine) sleepsUnderLock() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.n++
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding mutex .mu"
+}
+
+func (e *engine) ioUnderLock() {
+	e.mu.Lock()
+	_ = os.Remove("x") // want "os.Remove .I/O. while holding mutex .mu"
+	e.mu.Unlock()
+}
+
+func (e *engine) faultSleepUnderLock() {
+	e.mu.Lock()
+	faultinject.Sleep(faultinject.PointSlow) // want "faultinject.Sleep while holding mutex .mu"
+	e.mu.Unlock()
+}
+
+func (e *engine) doubleLock() {
+	e.mu.Lock()
+	e.mu.Lock() // want "locked while already held"
+	e.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func (e *engine) otherMutex() {
+	e.other.Lock()
+	time.Sleep(time.Millisecond) // ok: .other is not //nm:lockscope
+	e.other.Unlock()
+}
+
+func (e *engine) flushLocked() {
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding the caller.s lock"
+}
+
+func (e *engine) acquireLocked() {
+	e.mu.Lock() // want "acquireLocked acquires lockscope mutex .mu, but .Locked functions run with the lock already held"
+	e.n++
+	e.mu.Unlock()
+}
+
+func (e *engine) closureEscapes() {
+	e.mu.Lock()
+	f := func() { time.Sleep(time.Millisecond) } // ok: closures sit outside the lexical model
+	f()
+	e.mu.Unlock()
+}

@@ -1,0 +1,57 @@
+// Package rcusnapshot exercises the immutable-struct write rules: builder
+// exemption, private value copies, and every shared-memory write shape.
+package rcusnapshot
+
+//nm:immutable
+type frozen struct {
+	n    int
+	vals []int
+}
+
+type holder struct {
+	f frozen
+	p *frozen
+}
+
+var global holder
+
+//nm:builder frozen
+func build(vals []int) *frozen {
+	f := &frozen{}
+	f.vals = vals // ok: builder
+	f.n = len(vals)
+	return f
+}
+
+func fresh() *frozen {
+	return &frozen{n: 8} // ok: composite literals produce fresh values
+}
+
+func mutatePtr(f *frozen) {
+	f.n = 1       // want "write to field n of //nm:immutable frozen outside a //nm:builder frozen function"
+	f.vals[0] = 2 // want "write to field vals of //nm:immutable frozen"
+}
+
+func incDec(f *frozen) {
+	f.n++ // want "write to field n of //nm:immutable frozen"
+}
+
+func copyInto(f *frozen, src []int) {
+	copy(f.vals, src) // want "write to field vals of //nm:immutable frozen"
+}
+
+func privateCopy(h holder) {
+	c := h.f
+	c.n = 4   // ok: private value copy
+	h.f.n = 5 // ok: h is a by-value parameter, this writes the copy
+	h.p.n = 6 // want "write to field n of //nm:immutable frozen"
+	_ = c
+}
+
+func sharedValue(h *holder) {
+	h.f.n = 9 // want "write to field n of //nm:immutable frozen"
+}
+
+func globalValue() {
+	global.f.n = 7 // want "write to field n of //nm:immutable frozen"
+}

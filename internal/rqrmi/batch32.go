@@ -31,6 +31,8 @@ import "math/bits"
 // lookupEntryBatchF32 resolves keys through the float32 staged kernel,
 // writing matched entry positions (or -1) into out. asm selects the AVX2
 // kernel; results are identical either way.
+//
+//nm:hotpath
 func (m *Model) lookupEntryBatchF32(keys []uint32, out []int32, asm bool) {
 	var x, y, xg, yg [BatchChunk]float32
 	var js, preds, order, act [BatchChunk]int32

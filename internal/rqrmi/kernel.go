@@ -140,6 +140,8 @@ func (k *Kernel) Eval8F32(keys *[8]uint32, out *[8]float32, useAsm bool) {
 	k.f32.evalBlock(0, x[:], out[:], useAsm && asmKernelAvailable)
 }
 
+//
+//nm:hotpath
 func clamp01(y float64) float64 {
 	if y < 0 {
 		return 0
@@ -159,6 +161,8 @@ func clamp01(y float64) float64 {
 // reproduced operation-for-operation, so flattened and scalar inference are
 // bit-identical and the trained error bounds remain valid.
 
+//
+//nm:immutable
 type flatStages struct {
 	h    int   // hidden units, uniform across every submodel
 	off  []int // off[s] is the global index of stage s's first submodel
@@ -174,6 +178,8 @@ type flatStages struct {
 // returns nil when the model has no stages or the hidden width is not
 // uniform (possible for hand-crafted serialized models); callers fall back
 // to the scalar path.
+//
+//nm:builder flatStages
 func flattenStages(stages [][]submodel) *flatStages {
 	if len(stages) == 0 || len(stages[0]) == 0 {
 		return nil
@@ -217,6 +223,8 @@ func flattenStages(stages [][]submodel) *flatStages {
 
 // evalX evaluates global submodel g on a scaled input, matching
 // submodel.evalX exactly (same operations, same order).
+//
+//nm:hotpath
 func (f *flatStages) evalX(g int, x float64) float64 {
 	u := (x - f.inLo[g]) / f.inSp[g]
 	y := f.b2[g]
@@ -236,6 +244,8 @@ func (f *flatStages) evalX(g int, x float64) float64 {
 // variables but not arrays, and the Table 1 measurements show the ~3x win
 // belongs to the named form). Per-key accumulation order equals evalX, so
 // results are bit-identical.
+//
+//nm:hotpath
 func (f *flatStages) evalWide(g int, x, y []float64) {
 	inLo, inSp, b2 := f.inLo[g], f.inSp[g], f.b2[g]
 	h := f.h

@@ -55,6 +55,8 @@ const clampHi32 = float32(1) - 1.0/(1<<24)
 // triplets at tri[g*3h : (g+1)*3h] so the kernel's inner loop streams one
 // cache-line sequence per submodel; the three per-submodel scalars live at
 // hdr[3g : 3g+3] = {inLo, invSpan, b2}.
+//
+//nm:immutable
 type flatStages32 struct {
 	h   int
 	off []int32 // off[s] is the global index of stage s's first submodel
@@ -69,6 +71,8 @@ type flatStages32 struct {
 // models), in which case batched lookups stay on the float64 path. The
 // finiteness requirement lets evalBlockGo skip inactive hidden units (see
 // the note there) while staying bit-identical to the assembly.
+//
+//nm:builder flatStages32
 func flatten32(f *flatStages) *flatStages32 {
 	if f == nil {
 		return nil
@@ -121,6 +125,8 @@ func flatten32(f *flatStages) *flatStages32 {
 // active kernel: the AVX2 assembly when asm is true (multiples of 8 lanes;
 // the tail runs through the bit-identical Go form), the pure-Go form
 // otherwise.
+//
+//nm:hotpath
 func (f *flatStages32) evalBlock(g int, x, y []float32, asm bool) {
 	if asm && f.h > 0 {
 		nw := len(x) &^ 7
@@ -151,6 +157,8 @@ func (f *flatStages32) evalBlock(g int, x, y []float32, asm bool) {
 // Table 1 lesson), every operation mirroring one vector instruction of the
 // assembly kernel — modulo the inactive-unit skip argued below — so results
 // are bit-identical lane for lane.
+//
+//nm:hotpath
 func (f *flatStages32) evalBlockGo(g int, x, y []float32) {
 	h := f.h
 	tri := f.tri[g*3*h : g*3*h+3*h]
@@ -205,6 +213,8 @@ func (f *flatStages32) evalBlockGo(g int, x, y []float32) {
 
 // clamp01f32 matches the assembly's VMAXPS(·, +0) then VMINPS(·, clampHi32)
 // exactly, including the ±0 and NaN select direction (second source wins).
+//
+//nm:hotpath
 func clamp01f32(y float32) float32 {
 	if !(y > 0) {
 		y = 0
@@ -216,6 +226,8 @@ func clamp01f32(y float32) float32 {
 }
 
 // quantize32 mirrors quantize under float32 products.
+//
+//nm:hotpath
 func quantize32(y, fw float32, outW int32) int32 {
 	b := int32(y * fw)
 	if b < 0 {

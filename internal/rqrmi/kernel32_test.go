@@ -8,6 +8,8 @@ import (
 
 // randomFlat32 builds a single-submodel flatStages32 with the given hidden
 // width and pseudo-random but finite parameters.
+//
+//nm:builder flatStages32
 func randomFlat32(rng *rand.Rand, h int) *flatStages32 {
 	f := &flatStages32{
 		h:   h,

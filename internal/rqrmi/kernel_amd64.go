@@ -14,5 +14,6 @@ var asmKernelAvailable = cpu.X86.HasAVX2
 // hdr at its {inLo, invSpan, b2} header. Bit-identical to
 // flatStages32.evalBlockGo by construction; see kernel_amd64.s.
 //
+//nm:hotpath
 //go:noescape
 func evalBlockAVX2(tri *float32, h int64, hdr *float32, x *float32, y *float32, n int64)

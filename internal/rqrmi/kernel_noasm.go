@@ -8,6 +8,8 @@ const asmKernelAvailable = false
 
 // evalBlockAVX2 is unreachable on portable builds (evalBlock only calls it
 // behind the asm flag, which SetKernelMode refuses to raise here).
+//
+//nm:hotpath
 func evalBlockAVX2(tri *float32, h int64, hdr *float32, x *float32, y *float32, n int64) {
 	panic("rqrmi: assembly kernel invoked on a build without it")
 }

@@ -59,6 +59,8 @@ type submodel struct {
 }
 
 // evalX computes M(x) = H(N(u(x))) ∈ [0, 1) for a scaled input.
+//
+//nm:hotpath
 func (s *submodel) evalX(x float64) float64 {
 	u := (x - s.inLo) / s.inSpan
 	y := s.b2
@@ -80,6 +82,8 @@ func (s *submodel) evalX(x float64) float64 {
 // bucket quantizes the submodel output at key k into w buckets:
 // ⌊M(k·2^-32)·w⌋ clamped to [0, w-1]. This is fi of Definition A.2 and is
 // the exact operation performed during inference.
+//
+//nm:hotpath
 func (s *submodel) bucket(k uint64, w int) int {
 	b := int(s.evalX(float64(k)*scale) * float64(w))
 	if b < 0 {
@@ -138,6 +142,8 @@ type Model struct {
 }
 
 // coarseHit reports whether key's bucket may be covered by an entry.
+//
+//nm:hotpath
 func (m *Model) coarseHit(key uint32) bool {
 	b := key >> 16
 	return m.coarse[b>>6]&(1<<(b&63)) != 0
@@ -219,6 +225,8 @@ func (m *Model) revalidateF32() {
 
 // Values returns the flat payload array, indexed like Entries. The slice is
 // shared; callers must not modify it directly (use SetValue).
+//
+//nm:hotpath
 func (m *Model) Values() []int { return m.vals }
 
 // Len returns the number of indexed ranges.
@@ -264,6 +272,8 @@ func (m *Model) ValueArrayBytes() int { return 12*len(m.entries) + 8*len(m.coars
 
 // route runs the staged inference of §3.1: each stage's prediction selects
 // the submodel of the next stage; the leaf predicts the entry index.
+//
+//nm:hotpath
 func (m *Model) route(k uint64) (leaf, pred int) {
 	j := 0
 	last := len(m.stages) - 1
@@ -285,6 +295,8 @@ func (m *Model) Lookup(key uint32) (value int, ok bool) {
 }
 
 // LookupEntry is like Lookup but returns the matched entry position.
+//
+//nm:hotpath
 func (m *Model) LookupEntry(key uint32) (index int, ok bool) {
 	if len(m.entries) == 0 {
 		return 0, false
@@ -324,6 +336,8 @@ func (m *Model) LookupEntry(key uint32) (index int, ok bool) {
 const BatchChunk = 128
 
 // quantize mirrors submodel.bucket's clamped floor.
+//
+//nm:hotpath
 func quantize(y, fw float64, outW int) int32 {
 	b := int(y * fw)
 	if b < 0 {
@@ -350,6 +364,8 @@ const maxGroupWidth = 512
 // single-precision kernel of §4 (AVX2 assembly where available, see
 // batch32.go); otherwise this float64 form runs. Either way results are
 // bit-identical to LookupEntry. out must have at least len(keys) entries.
+//
+//nm:hotpath
 func (m *Model) LookupEntryBatch(keys []uint32, out []int32) {
 	if len(m.entries) == 0 {
 		for i := range keys {

@@ -65,12 +65,16 @@ type FrozenClassifier interface {
 	MemoryFootprint() int
 	// Lookup returns the highest-priority rule with Priority < bestPrio
 	// matching p, ignoring rules whose IDs appear in skip, or -1.
+	//
+	//nm:hotpath
 	Lookup(p Packet, bestPrio int32, skip []int) int
 	// LookupBatch classifies pkts[i] under bounds[i]: wherever some rule
 	// beats bounds[i] it writes the winner into out[i] and lowers bounds[i]
 	// to the winner's priority; entries it cannot improve are left
 	// untouched (callers pre-fill out with their current best). bounds is
 	// caller-owned scratch. Results equal per-packet Lookup.
+	//
+	//nm:hotpath
 	LookupBatch(pkts []Packet, bounds []int32, skip []int, out []int)
 }
 
@@ -81,7 +85,12 @@ type FrozenClassifier interface {
 // bucket lines toward L1 underneath the inference arithmetic and the
 // subsequent LookupBatch probes hit warm cache. Implementations must not
 // allocate, must be safe for unsynchronized concurrent use, and must treat
-// the call as a pure hint (correctness never depends on it).
+// the call as a pure hint (correctness never depends on it) — the same
+// hot-path contract as the frozen lookups, so nmlint trusts calls through
+// it (//nm:hotpath) and the runtime zero-alloc guards hold implementations
+// to it.
+//
+//nm:hotpath
 type BatchPrefetcher interface {
 	PrefetchBatch(pkts []Packet)
 }

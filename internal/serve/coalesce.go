@@ -15,6 +15,25 @@ import (
 // When Shutdown closes the queue the `ok` receive drains every buffered
 // request first (closed-channel semantics), so the drain guarantee falls
 // out of the normal loop: everything enqueued before the close is answered.
+// classifyBatch is the classification core of one coalesced batch: copy the
+// packets out of the requests and issue one LookupBatch against a backend
+// handle pinned for the whole batch — a concurrent Reload swap never tears a
+// batch, and the old handle stays valid even after its Close (fail-static
+// lookup guarantee). It sits between coalescing and fan-out on the
+// latency-critical path and holds the hot-path contract: one atomic load,
+// no locks, no allocation.
+//
+//nm:hotpath
+func (s *Server) classifyBatch(reqs []*request, pkts []rules.Packet, out []int) int {
+	n := len(reqs)
+	for i, r := range reqs {
+		pkts[i] = r.pkt
+	}
+	backend := s.backend.Load().b
+	backend.LookupBatch(pkts[:n], out[:n])
+	return n
+}
+
 func (s *Server) dispatch() {
 	defer s.dispWG.Done()
 
@@ -57,15 +76,7 @@ func (s *Server) dispatch() {
 			}
 		}
 
-		n := len(reqs)
-		for i, r := range reqs {
-			pkts[i] = r.pkt
-		}
-		// Pin one backend handle for the whole batch: a concurrent Reload
-		// swap never tears a batch, and the old handle stays valid even
-		// after its Close (fail-static lookup guarantee).
-		backend := s.backend.Load().b
-		backend.LookupBatch(pkts[:n], out[:n])
+		n := s.classifyBatch(reqs, pkts, out)
 
 		batchSeq++
 		touched = touched[:0]

@@ -255,7 +255,7 @@ func TestServeDegradedUnderFaults(t *testing.T) {
 	burst("healthy")
 
 	// Phase 1: retrains fail — degraded but still ready and correct.
-	faultinject.Enable("core.retrain.build", faultinject.Rule{})
+	faultinject.Enable(faultinject.PointRetrainBuild, faultinject.Rule{})
 	insertDup(0)
 	if _, err := ap.Check(); !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("Check under build fault = %v, want injected error", err)
@@ -266,7 +266,7 @@ func TestServeDegradedUnderFaults(t *testing.T) {
 	// Phase 2: retrains recover but persistence fails — still ready,
 	// flagged with the persist reason.
 	faultinject.Reset()
-	faultinject.Enable("table.save", faultinject.Rule{})
+	faultinject.Enable(faultinject.PointTableSave, faultinject.Rule{})
 	insertDup(1)
 	if _, err := ap.Check(); err != nil {
 		t.Fatalf("Check under save fault = %v, want retrain success", err)

@@ -25,6 +25,10 @@ type Backend interface {
 	// NumFields is the packet dimensionality; fixed for a backend's life.
 	NumFields() int
 	// LookupBatch classifies pkts[i] into out[i] (rule ID or rules.NoMatch).
+	// It is the dispatcher's per-batch hot call: implementations serve it
+	// from an RCU snapshot without locks or allocation.
+	//
+	//nm:hotpath
 	LookupBatch(pkts []rules.Packet, out []int)
 	// Health reports the backend's current serving health.
 	Health() core.Health

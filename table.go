@@ -230,7 +230,7 @@ func (t *Table) SaveFile(path string) error {
 // second sync a crash can lose the rename itself and resurface the old
 // artifact (or none) despite the write "succeeding".
 func saveEngineFile(eng *core.Engine, path string) error {
-	if err := faultinject.Hit("table.save"); err != nil {
+	if err := faultinject.Hit(faultinject.PointTableSave); err != nil {
 		return err
 	}
 	dir := filepath.Dir(path)

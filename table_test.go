@@ -422,7 +422,7 @@ func TestTableHealthPersistRetry(t *testing.T) {
 
 	// One injected save failure: the retry (default 2) absorbs it.
 	churn(100_000)
-	faultinject.Enable("table.save", faultinject.Rule{FailCount: 1})
+	faultinject.Enable(faultinject.PointTableSave, faultinject.Rule{FailCount: 1})
 	if ran, err := ap.Check(); err != nil || !ran {
 		t.Fatalf("check under transient fault: ran=%v err=%v", ran, err)
 	}
@@ -436,7 +436,7 @@ func TestTableHealthPersistRetry(t *testing.T) {
 
 	// A persistent failure exhausts the retries and degrades the table.
 	churn(200_000)
-	faultinject.Enable("table.save", faultinject.Rule{})
+	faultinject.Enable(faultinject.PointTableSave, faultinject.Rule{})
 	if ran, err := ap.Check(); err != nil || !ran {
 		t.Fatalf("check under persistent fault: ran=%v err=%v", ran, err)
 	}
