@@ -205,7 +205,11 @@ func LoadCluster(dir string, opts ...ClusterOption) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	cc, err := core.LoadClusterDir(dir, tc.opts.Remainder)
+	override, err := tc.remainderOverride()
+	if err != nil {
+		return nil, err
+	}
+	cc, err := core.LoadClusterDir(dir, override)
 	if err != nil {
 		return nil, fmt.Errorf("nuevomatch: loading cluster %s: %w", dir, err)
 	}

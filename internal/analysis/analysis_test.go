@@ -188,12 +188,28 @@ func TestBenchArtifact(t *testing.T) {
 	old := MinMeasure
 	MinMeasure = 5 * time.Millisecond
 	defer func() { MinMeasure = old }()
-	a, err := RunBenchArtifact("acl1", 400, 1000, 1)
+	a, err := RunBenchArtifact("acl1", 400, 1000, 1, "auto")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.Lookup.ThroughputPPS <= 0 || a.LookupBatch.ThroughputPPS <= 0 {
 		t.Fatalf("non-positive throughput: %+v", a)
+	}
+	if !a.Engine.RemainderAutoSelected || a.Engine.RemainderBackend == "" {
+		t.Fatalf("auto-select not recorded in artifact: backend=%q auto=%v",
+			a.Engine.RemainderBackend, a.Engine.RemainderAutoSelected)
+	}
+	selected := 0
+	for _, s := range a.Engine.RemainderScores {
+		if s.Selected {
+			selected++
+			if s.Name != a.Engine.RemainderBackend {
+				t.Fatalf("selected score %q != recorded backend %q", s.Name, a.Engine.RemainderBackend)
+			}
+		}
+	}
+	if selected != 1 {
+		t.Fatalf("want exactly one selected candidate, got %d", selected)
 	}
 	if a.Engine.TotalBytes <= 0 {
 		t.Fatal("non-positive memory footprint")

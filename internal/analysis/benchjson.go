@@ -46,6 +46,14 @@ type BenchArtifact struct {
 		TotalBytes        int     `json:"total_bytes"`
 		ISetBytes         int     `json:"iset_bytes"`
 		RemainderBytes    int     `json:"remainder_bytes"`
+
+		// RemainderBackend is the remainder classifier that serves
+		// (BuildStats.RemainderBackend); under -remainder auto,
+		// RemainderAutoSelected is true and RemainderScores carries the
+		// per-candidate selection measurements.
+		RemainderBackend      string                `json:"remainder_backend"`
+		RemainderAutoSelected bool                  `json:"remainder_auto_selected,omitempty"`
+		RemainderScores       []core.RemainderScore `json:"remainder_scores,omitempty"`
 	} `json:"engine"`
 
 	// Lookup is the per-packet scalar path; LookupBatch the batched path;
@@ -158,9 +166,11 @@ type BenchPath struct {
 	BytesPerOp    float64 `json:"bytes_per_op"`
 }
 
-// RunBenchArtifact builds the default engine (TupleMerge remainder, paper
-// options) over a ClassBench profile and measures the three lookup paths.
-func RunBenchArtifact(profileName string, size, traceLen int, seed int64) (*BenchArtifact, error) {
+// RunBenchArtifact builds the engine (paper options; the remainder backend
+// is chosen by name — "" or "tm"/"tuplemerge" for the default, any
+// registered name such as "rvh", or "auto" for workload auto-selection)
+// over a ClassBench profile and measures the three lookup paths.
+func RunBenchArtifact(profileName string, size, traceLen int, seed int64, remainder string) (*BenchArtifact, error) {
 	prof, err := classbench.ProfileByName(profileName)
 	if err != nil {
 		return nil, err
@@ -169,8 +179,18 @@ func RunBenchArtifact(profileName string, size, traceLen int, seed int64) (*Benc
 	rng := rand.New(rand.NewSource(seed))
 	tr := trace.Uniform(rng, rs, traceLen)
 
+	opt, err := NMOptions(TM, 64)
+	if err != nil {
+		return nil, err
+	}
+	switch remainder {
+	case "", TM, "tuplemerge":
+		// NMOptions default: TupleMerge.
+	default:
+		opt.RemainderName = remainder
+	}
 	buildStart := time.Now()
-	e, err := BuildNM(TM, rs)
+	e, err := core.Build(rs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -195,6 +215,9 @@ func RunBenchArtifact(profileName string, size, traceLen int, seed int64) (*Benc
 	a.Engine.TotalBytes = e.MemoryFootprint()
 	a.Engine.ISetBytes = e.RQRMIBytes()
 	a.Engine.RemainderBytes = e.RemainderBytes()
+	a.Engine.RemainderBackend = st.RemainderBackend
+	a.Engine.RemainderAutoSelected = st.RemainderAutoSelected
+	a.Engine.RemainderScores = st.RemainderScores
 
 	per, err := measurePersistence(e, buildTime, rs, tr.Packets)
 	if err != nil {

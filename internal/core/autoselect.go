@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"nuevomatch/internal/rules"
+)
+
+// Remainder auto-selection. The paper treats the remainder classifier as a
+// pluggable component (§3.7) and shows the best choice is workload-dependent
+// (§5.3.2: 1–2 iSets suit tree remainders, 4 suit TupleMerge). With more
+// than one production-grade Freezable backend registered, Build can measure
+// instead of guess: every candidate is trained on the actual remainder rule
+// distribution, its frozen form is microbenchmarked on a trace sampled from
+// that same distribution, and the weighted score below picks the winner.
+// The winner's already-built classifier is adopted directly — selection
+// never builds the serving backend twice.
+
+// AutoRemainder is the Options.RemainderName / WithRemainder value that
+// enables remainder auto-selection.
+const AutoRemainder = "auto"
+
+// RemainderScore is one auto-select candidate's measurements. Score is the
+// weighted sum of the lookup, memory, and build-time components, each
+// normalized to the best candidate's value — lower is better, and the
+// lookup component dominates (serving latency is what the remainder is on
+// the hook for; memory and build time are tie-breakers).
+type RemainderScore struct {
+	// Name is the candidate's registry name.
+	Name string `json:"name"`
+	// BuildTime is how long the candidate took to build over the remainder
+	// rules.
+	BuildTime time.Duration `json:"build_ns"`
+	// LookupNs is the measured mean frozen-lookup latency on the sampled
+	// trace, in nanoseconds.
+	LookupNs float64 `json:"lookup_ns"`
+	// MemoryBytes is the frozen form's memory footprint.
+	MemoryBytes int `json:"memory_bytes"`
+	// Score is the weighted normalized total; the minimum wins.
+	Score float64 `json:"score"`
+	// Selected marks the winner.
+	Selected bool `json:"selected,omitempty"`
+	// Err records a candidate that failed to build (it scores out of the
+	// running without failing the engine build, as long as one candidate
+	// survives).
+	Err string `json:"err,omitempty"`
+}
+
+// Score weights: lookup latency dominates, memory and build time nudge
+// near-ties. Each component is the candidate's value divided by the best
+// candidate's, so a backend that is 2x slower on lookups needs to be
+// roughly 13x smaller before it can win on memory.
+const (
+	autoWeightLookup = 1.0
+	autoWeightMemory = 0.15
+	autoWeightBuild  = 0.05
+)
+
+// autoTraceLen caps the sampled microbenchmark trace.
+const autoTraceLen = 256
+
+// autoBenchMinDuration is how long the per-candidate microbenchmark runs at
+// minimum: passes over the trace repeat until this much time accumulates,
+// so the per-lookup estimate is not a single timer-resolution artifact.
+const autoBenchMinDuration = 200 * time.Microsecond
+
+// remainderSelection is what buildRemainder reports alongside the built
+// classifier.
+type remainderSelection struct {
+	backend string
+	auto    bool
+	scores  []RemainderScore
+}
+
+// buildRemainder constructs the engine's remainder classifier per the
+// options: RemainderName takes precedence when set ("auto" runs the
+// selection, any other name resolves through the registry), otherwise the
+// Remainder builder runs as-is.
+func buildRemainder(opts Options, rs *rules.RuleSet) (rules.Classifier, remainderSelection, error) {
+	switch name := opts.RemainderName; {
+	case name == AutoRemainder:
+		return selectRemainder(rs)
+	case name != "":
+		b, ok := remainderBuilder(name)
+		if !ok {
+			return nil, remainderSelection{}, fmt.Errorf("unknown remainder classifier %q (register it with RegisterRemainder)", name)
+		}
+		rem, err := b(rs)
+		if err != nil {
+			return nil, remainderSelection{}, err
+		}
+		return rem, remainderSelection{backend: rem.Name()}, nil
+	default:
+		rem, err := opts.Remainder(rs)
+		if err != nil {
+			return nil, remainderSelection{}, err
+		}
+		return rem, remainderSelection{backend: rem.Name()}, nil
+	}
+}
+
+// selectRemainder trains every registered Freezable backend over rs, scores
+// them, and returns the winner's classifier. Candidates that fail to build
+// (or whose product turns out not to be Freezable) are recorded with an Err
+// and skipped; the selection fails only if nothing survives. Ties on score
+// break toward the lexicographically first name (the candidate list is
+// sorted), so equal measurements give a deterministic choice.
+func selectRemainder(rs *rules.RuleSet) (rules.Classifier, remainderSelection, error) {
+	names := FreezableRemainders()
+	if len(names) == 0 {
+		return nil, remainderSelection{}, fmt.Errorf("remainder auto-select: no Freezable backends registered")
+	}
+	trace := autoTrace(rs)
+
+	type candidate struct {
+		cls    rules.Classifier
+		frozen rules.FrozenClassifier
+	}
+	cands := make([]candidate, len(names))
+	scores := make([]RemainderScore, len(names))
+	for i, name := range names {
+		scores[i] = RemainderScore{Name: name}
+		b, ok := remainderBuilder(name)
+		if !ok {
+			// Registered as Freezable but the builder entry vanished; only
+			// possible through a racing re-registration.
+			scores[i].Err = "builder not registered"
+			continue
+		}
+		t0 := time.Now()
+		cls, err := b(rs)
+		scores[i].BuildTime = time.Since(t0)
+		if err != nil {
+			scores[i].Err = err.Error()
+			continue
+		}
+		fz, ok := cls.(rules.Freezable)
+		if !ok {
+			scores[i].Err = fmt.Sprintf("classifier %q is not Freezable", cls.Name())
+			continue
+		}
+		frozen := fz.Freeze()
+		scores[i].LookupNs = benchFrozenLookup(frozen, trace)
+		scores[i].MemoryBytes = frozen.MemoryFootprint()
+		cands[i] = candidate{cls: cls, frozen: frozen}
+	}
+
+	// Normalize each component to the best viable candidate's value. Floors
+	// of 1 keep degenerate measurements (empty remainder: zero bytes, ~zero
+	// ns) from dividing by zero.
+	minLookup, minMem, minBuild := math.MaxFloat64, math.MaxFloat64, math.MaxFloat64
+	viable := 0
+	for i := range scores {
+		if scores[i].Err != "" {
+			continue
+		}
+		viable++
+		minLookup = math.Min(minLookup, math.Max(scores[i].LookupNs, 1))
+		minMem = math.Min(minMem, math.Max(float64(scores[i].MemoryBytes), 1))
+		minBuild = math.Min(minBuild, math.Max(float64(scores[i].BuildTime), 1))
+	}
+	if viable == 0 {
+		return nil, remainderSelection{}, fmt.Errorf("remainder auto-select: every candidate failed (first: %s: %s)", scores[0].Name, scores[0].Err)
+	}
+	best := -1
+	for i := range scores {
+		if scores[i].Err != "" {
+			continue
+		}
+		scores[i].Score = autoWeightLookup*math.Max(scores[i].LookupNs, 1)/minLookup +
+			autoWeightMemory*math.Max(float64(scores[i].MemoryBytes), 1)/minMem +
+			autoWeightBuild*math.Max(float64(scores[i].BuildTime), 1)/minBuild
+		if best < 0 || scores[i].Score < scores[best].Score {
+			best = i
+		}
+	}
+	scores[best].Selected = true
+	return cands[best].cls, remainderSelection{
+		backend: cands[best].cls.Name(),
+		auto:    true,
+		scores:  scores,
+	}, nil
+}
+
+// autoTraceSeed makes the sampled trace deterministic for a given rule
+// distribution, so repeated builds over the same rules score the same
+// packets (the measurements still carry timing noise; the trace does not
+// add more).
+const autoTraceSeed = 0x52564831
+
+// autoTrace samples a lookup trace from the remainder rule distribution:
+// packets drawn from inside randomly chosen rules' boxes (the matching-heavy
+// case hash-based backends differ most on), with a uniform draw mixed in
+// for the miss path. An empty remainder gets a single zero packet so the
+// microbenchmark still exercises the call.
+func autoTrace(rs *rules.RuleSet) []rules.Packet {
+	if rs.Len() == 0 || rs.NumFields == 0 {
+		return []rules.Packet{make(rules.Packet, rs.NumFields)}
+	}
+	n := autoTraceLen
+	if n > 4*rs.Len() {
+		n = 4 * rs.Len()
+	}
+	rng := rand.New(rand.NewSource(autoTraceSeed + int64(rs.Len())))
+	trace := make([]rules.Packet, n)
+	for i := range trace {
+		p := make(rules.Packet, rs.NumFields)
+		if rng.Intn(4) != 0 {
+			r := &rs.Rules[rng.Intn(rs.Len())]
+			for d, f := range r.Fields {
+				p[d] = f.Lo + uint32(rng.Uint64()%f.Size())
+			}
+		} else {
+			for d := range p {
+				p[d] = rng.Uint32()
+			}
+		}
+		trace[i] = p
+	}
+	return trace
+}
+
+// benchFrozenLookup measures the mean unbounded frozen-lookup latency over
+// the trace, repeating passes until autoBenchMinDuration accumulates.
+func benchFrozenLookup(f rules.FrozenClassifier, trace []rules.Packet) float64 {
+	lookups := 0
+	var elapsed time.Duration
+	for elapsed < autoBenchMinDuration {
+		t0 := time.Now()
+		for _, p := range trace {
+			_ = f.Lookup(p, math.MaxInt32, nil)
+		}
+		elapsed += time.Since(t0)
+		lookups += len(trace)
+	}
+	return float64(elapsed.Nanoseconds()) / float64(lookups)
+}

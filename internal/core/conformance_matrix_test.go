@@ -7,12 +7,16 @@ import (
 )
 
 // TestConformanceMatrix sweeps every ClassBench application profile through
-// three lifecycle modes — freshly built, 20% churned, and churned with
-// autopilot-driven retraining — asserting on each cell that every lookup
-// path (scalar, batch, parallel) agrees exactly with the linear reference.
-// Under -short the sweep is pruned to one profile per application family.
+// every production remainder backend — tuplemerge, rvh, and the auto
+// selector — in two lifecycle modes (freshly built, 20% churned), plus a
+// churn-with-autopilot-retraining mode on the default backend. Each cell
+// asserts that every lookup path (scalar, batch, parallel) agrees exactly
+// with the linear reference, and that BuildStats records the backend that
+// actually serves. Under -short the sweep is pruned to one profile per
+// application family.
 func TestConformanceMatrix(t *testing.T) {
 	profiles := classbench.Profiles()
+	backends := []string{"tuplemerge", "rvh", AutoRemainder}
 	size, pool, probes := 240, 400, 300
 	if testing.Short() {
 		// One profile per family: acl1, fw1, ipc1.
@@ -20,45 +24,62 @@ func TestConformanceMatrix(t *testing.T) {
 		size, pool, probes = 150, 240, 150
 	}
 	for pi, prof := range profiles {
-		for _, mode := range []string{"static", "churn", "churn+retrain"} {
-			t.Run(prof.Name+"/"+mode, func(t *testing.T) {
-				d := newChurnDriver(t, prof, size, pool, fastOpts(), 100+int64(pi))
-				switch mode {
-				case "static":
-					// build only
-				case "churn":
-					// Churn 20% of the rule count in interleaved
-					// inserts/deletes (lookups verified throughout).
-					for d.inserts+d.deletes < 2*size/5 {
-						d.step()
+		for _, backend := range backends {
+			for _, mode := range []string{"static", "churn"} {
+				t.Run(prof.Name+"/"+backend+"/"+mode, func(t *testing.T) {
+					opts := fastOpts()
+					opts.RemainderName = backend
+					d := newChurnDriver(t, prof, size, pool, opts, 100+int64(pi))
+					st := d.e.Stats()
+					if backend == AutoRemainder {
+						if !st.RemainderAutoSelected || st.RemainderBackend == "" {
+							t.Fatalf("auto-select not recorded: backend=%q auto=%v",
+								st.RemainderBackend, st.RemainderAutoSelected)
+						}
+					} else if st.RemainderBackend != backend {
+						t.Fatalf("BuildStats.RemainderBackend = %q, want %q", st.RemainderBackend, backend)
 					}
-				case "churn+retrain":
-					ap := NewAutopilot(d.e, AutopilotPolicy{
-						MaxUpdates:   size / 5,
-						MinLiveRules: 1,
-					})
-					for d.inserts+d.deletes < 2*size/5 {
-						d.step()
-						if d.ops%50 == 0 {
-							if _, err := ap.Check(); err != nil {
-								t.Fatalf("autopilot check: %v", err)
-							}
+					if mode == "churn" {
+						// Churn 20% of the rule count in interleaved
+						// inserts/deletes (lookups verified throughout).
+						for d.inserts+d.deletes < 2*size/5 {
+							d.step()
 						}
 					}
+					d.verifySweep(probes)
+				})
+			}
+		}
+
+		// Churn with autopilot-driven retraining, on the default backend:
+		// the retrain must preserve conformance across the hot swap and
+		// keep absorbing updates afterwards.
+		t.Run(prof.Name+"/churn+retrain", func(t *testing.T) {
+			d := newChurnDriver(t, prof, size, pool, fastOpts(), 100+int64(pi))
+			ap := NewAutopilot(d.e, AutopilotPolicy{
+				MaxUpdates:   size / 5,
+				MinLiveRules: 1,
+			})
+			for d.inserts+d.deletes < 2*size/5 {
+				d.step()
+				if d.ops%50 == 0 {
 					if _, err := ap.Check(); err != nil {
-						t.Fatalf("final autopilot check: %v", err)
-					}
-					if st := ap.Stats(); st.Retrains < 1 {
-						t.Fatalf("autopilot never retrained under 20%% churn: %+v", st)
-					}
-					// Keep churning after the swap: the retrained engine must
-					// absorb further updates correctly.
-					for n := d.inserts + d.deletes; d.inserts+d.deletes < n+size/10; {
-						d.step()
+						t.Fatalf("autopilot check: %v", err)
 					}
 				}
-				d.verifySweep(probes)
-			})
-		}
+			}
+			if _, err := ap.Check(); err != nil {
+				t.Fatalf("final autopilot check: %v", err)
+			}
+			if st := ap.Stats(); st.Retrains < 1 {
+				t.Fatalf("autopilot never retrained under 20%% churn: %+v", st)
+			}
+			// Keep churning after the swap: the retrained engine must
+			// absorb further updates correctly.
+			for n := d.inserts + d.deletes; d.inserts+d.deletes < n+size/10; {
+				d.step()
+			}
+			d.verifySweep(probes)
+		})
 	}
 }

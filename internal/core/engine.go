@@ -52,6 +52,16 @@ type Options struct {
 	// with Insert/Delete, it must support its own concurrent Lookup racing
 	// its own updates.
 	Remainder rules.Builder
+	// RemainderName selects the remainder by registry name instead of by
+	// builder, taking precedence over Remainder when non-empty. The special
+	// name AutoRemainder ("auto") builds every registered Freezable backend
+	// over the actual remainder rule distribution, scores them (build time,
+	// frozen-lookup microbenchmark on a sampled trace, memory footprint),
+	// and keeps the winner — recording the choice and the per-candidate
+	// scores in BuildStats. Because Retrain re-applies the stored options,
+	// an auto-selected engine re-runs the selection at every retrain, so
+	// the backend tracks the workload as the rule distribution drifts.
+	RemainderName string
 	// ISetFields optionally restricts which fields may carry iSets.
 	ISetFields []int
 }
@@ -112,6 +122,17 @@ type BuildStats struct {
 	MaxSearchDistance int
 	// Train carries the per-iSet training statistics.
 	Train []rqrmi.TrainStats
+	// RemainderBackend is the Name() of the remainder classifier actually
+	// serving: the configured builder's product, or the auto-select winner.
+	RemainderBackend string
+	// RemainderAutoSelected reports whether RemainderBackend was chosen by
+	// the "auto" workload scoring rather than configured explicitly.
+	RemainderAutoSelected bool
+	// RemainderScores holds the per-candidate measurements of the auto
+	// selection (nil unless Options.RemainderName was AutoRemainder). The
+	// scores are diagnostics of this build — they are not serialized; a
+	// loaded engine keeps only the recorded RemainderBackend.
+	RemainderScores []RemainderScore
 }
 
 // Engine is a built NuevoMatch classifier. Lookups are lock-free: they load
@@ -248,11 +269,14 @@ func Build(rs *rules.RuleSet, opts Options) (*Engine, error) {
 	e.stats.RemainderSize = len(part.Remainder)
 
 	e.remainderRules = e.rs.Subset(part.Remainder)
-	rem, err := opts.Remainder(e.remainderRules)
+	rem, sel, err := buildRemainder(opts, e.remainderRules)
 	if err != nil {
 		return nil, fmt.Errorf("core: building remainder: %w", err)
 	}
 	e.remainder = rem
+	e.stats.RemainderBackend = sel.backend
+	e.stats.RemainderAutoSelected = sel.auto
+	e.stats.RemainderScores = sel.scores
 	e.remIDs, e.remPrios = sortedRemainderTable(e.remainderRules)
 	e.refreezeRemainderLocked()
 	e.parPool = make(chan *parWorker, 2)

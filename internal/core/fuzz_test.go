@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"testing"
 
@@ -322,6 +323,213 @@ func FuzzUpdateChurn(f *testing.F) {
 	})
 }
 
+// FuzzRemainderDifferential decodes a rule-set plus an update/lookup op
+// stream and drives every registered Freezable remainder backend through it
+// in lockstep, diffing the live lookups (unbounded, bounded, batched) and
+// the periodically re-frozen forms (scalar, batch, skip-list) against the
+// linear mirror. Any divergence between a backend and the reference — or
+// between two backends, since both are held to the same mirror — fails.
+func FuzzRemainderDifferential(f *testing.F) {
+	for _, seed := range remainderSeedCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+		base := decodeRuleSet(r, 32)
+		// Shift priorities up so the "beats everything" insert counter has
+		// room below them.
+		for i := range base.Rules {
+			base.Rules[i].Priority += 1 << 20
+		}
+
+		type backend struct {
+			name string
+			fz   rules.Freezable
+			up   rules.Updatable
+			bb   rules.BatchBoundedClassifier
+		}
+		var backends []backend
+		for _, name := range FreezableRemainders() {
+			b, ok := remainderBuilder(name)
+			if !ok {
+				t.Fatalf("backend %q has no builder", name)
+			}
+			cls, err := b(base)
+			if err != nil {
+				t.Fatalf("backend %q: build on %d rules: %v", name, base.Len(), err)
+			}
+			backends = append(backends, backend{
+				name: name,
+				fz:   cls.(rules.Freezable),
+				up:   cls.(rules.Updatable),
+				bb:   cls.(rules.BatchBoundedClassifier),
+			})
+		}
+		if len(backends) < 2 {
+			t.Fatalf("differential fuzz needs >= 2 backends, got %d", len(backends))
+		}
+		mirror := base.Clone()
+
+		// refBound is the linear reference for bounded lookups: the best
+		// match with Priority strictly below bound.
+		refBound := func(p rules.Packet, bound int32) int {
+			best, bestPrio := rules.NoMatch, bound
+			for i := range mirror.Rules {
+				if mr := &mirror.Rules[i]; mr.Priority < bestPrio && mr.Matches(p) {
+					best, bestPrio = mr.ID, mr.Priority
+				}
+			}
+			return best
+		}
+		verify := func(p rules.Packet, bound int32) {
+			want := refBound(p, bound)
+			for _, b := range backends {
+				if got := b.bb.LookupWithBound(p, bound); got != want {
+					t.Fatalf("%s: LookupWithBound(%v, %d) = %d, want %d (live %d)",
+						b.name, p, bound, got, want, mirror.Len())
+				}
+			}
+		}
+		var probes []rules.Packet
+		frozenSweep := func() {
+			pkts := append(append([]rules.Packet(nil), probes...), cornerProbes(mirror, 16)...)
+			if len(pkts) == 0 {
+				return
+			}
+			bounds := make([]int32, len(pkts))
+			out := make([]int, len(pkts))
+			for _, b := range backends {
+				fr := b.fz.Freeze()
+				for i, p := range pkts {
+					if got, want := fr.Lookup(p, 1<<30, nil), refBound(p, 1<<30); got != want {
+						t.Fatalf("%s: frozen Lookup[%d] = %d, want %d", b.name, i, got, want)
+					}
+					bounds[i] = 1 << 30
+					out[i] = -7 // sentinel: untouched unless improved
+				}
+				fr.LookupBatch(pkts, bounds, nil, out)
+				for i, p := range pkts {
+					want := refBound(p, 1<<30)
+					if want < 0 {
+						if out[i] != -7 {
+							t.Fatalf("%s: frozen batch wrote %d on a no-match packet", b.name, out[i])
+						}
+					} else if out[i] != want {
+						t.Fatalf("%s: frozen batch[%d] = %d, want %d", b.name, i, out[i], want)
+					}
+				}
+			}
+		}
+
+		nextID := 1 << 24
+		hiPrio := int32(1<<20 - 1) // descending: beats all live rules
+		loPrio := int32(1 << 28)   // ascending: loses to all live rules
+		for ops := 0; r.rem() > 0 && ops < 64; ops++ {
+			switch op := r.byte(); op % 8 {
+			case 0, 1: // insert into every backend
+				fields := make([]rules.Range, fuzzNumFields)
+				for d := range fields {
+					fields[d] = decodeField(r)
+				}
+				nr := rules.Rule{ID: nextID, Fields: fields}
+				nextID++
+				if op&0x10 != 0 {
+					nr.Priority = hiPrio
+					hiPrio--
+				} else {
+					nr.Priority = loPrio
+					loPrio++
+				}
+				for _, b := range backends {
+					if err := b.up.Insert(nr); err != nil {
+						t.Fatalf("%s: insert %d: %v", b.name, nr.ID, err)
+					}
+				}
+				mirror.Add(nr)
+			case 2: // delete from every backend
+				if mirror.Len() == 0 {
+					continue
+				}
+				i := int(r.byte()) % mirror.Len()
+				id := mirror.Rules[i].ID
+				for _, b := range backends {
+					if err := b.up.Delete(id); err != nil {
+						t.Fatalf("%s: delete %d: %v", b.name, id, err)
+					}
+				}
+				mirror.Rules[i] = mirror.Rules[mirror.Len()-1]
+				mirror.Rules = mirror.Rules[:mirror.Len()-1]
+			case 3, 4: // verified lookup, unbounded and bounded
+				p := decodePacket(r)
+				if len(probes) < 48 {
+					probes = append(probes, p)
+				}
+				verify(p, 1<<30)
+				if mirror.Len() > 0 {
+					// Bound at a live rule's priority + 1: that rule can still
+					// win, everything at or above it is pruned.
+					j := int(r.byte()) % mirror.Len()
+					verify(p, mirror.Rules[j].Priority+1)
+				}
+			case 5: // verified lookups on live-rule corners
+				for _, p := range cornerProbes(mirror, 8) {
+					verify(p, 1<<30)
+				}
+			case 6: // batched live differential over collected probes
+				if len(probes) == 0 {
+					continue
+				}
+				bounds := make([]int32, len(probes))
+				for i := range bounds {
+					bounds[i] = 1 << 30
+				}
+				out := make([]int, len(probes))
+				for _, b := range backends {
+					b.bb.LookupBatchWithBound(probes, bounds, out)
+					for i, p := range probes {
+						if want := refBound(p, 1<<30); out[i] != want {
+							t.Fatalf("%s: live batch[%d] = %d, want %d", b.name, i, out[i], want)
+						}
+					}
+				}
+			default: // freeze every backend and sweep the frozen contracts
+				frozenSweep()
+			}
+		}
+		frozenSweep()
+
+		// Skip-list differential: freeze, then delete a few live rules and
+		// check the frozen forms answer like the post-delete mirror when the
+		// deleted IDs ride in the sorted skip list.
+		if mirror.Len() > 2 {
+			frozen := make([]rules.FrozenClassifier, len(backends))
+			for i, b := range backends {
+				frozen[i] = b.fz.Freeze()
+			}
+			var skip []int
+			for i := 0; i < 3 && mirror.Len() > 0; i++ {
+				j := int(r.byte()) % mirror.Len()
+				id := mirror.Rules[j].ID
+				at := sort.SearchInts(skip, id)
+				skip = append(skip, 0)
+				copy(skip[at+1:], skip[at:])
+				skip[at] = id
+				mirror.Rules[j] = mirror.Rules[mirror.Len()-1]
+				mirror.Rules = mirror.Rules[:mirror.Len()-1]
+			}
+			pkts := append(append([]rules.Packet(nil), probes...), cornerProbes(mirror, 16)...)
+			for _, p := range pkts {
+				want := refBound(p, 1<<30)
+				for i, b := range backends {
+					if got := frozen[i].Lookup(p, 1<<30, skip); got != want {
+						t.Fatalf("%s: frozen+skip Lookup(%v) = %d, want %d", b.name, p, got, want)
+					}
+				}
+			}
+		}
+	})
+}
+
 // --- ClassBench-derived seed corpus --------------------------------------
 
 // lookupSeedCorpus encodes small slices of each ClassBench application
@@ -389,14 +597,66 @@ func churnSeedCorpus() [][]byte {
 	return seeds
 }
 
+// remainderSeedCorpus encodes a ClassBench base set followed by an op
+// stream that hits every FuzzRemainderDifferential op class: inserts at
+// both priority extremes, deletes, bounded lookups, corner sweeps, live
+// batch differentials, and re-freezes.
+func remainderSeedCorpus() [][]byte {
+	var seeds [][]byte
+	for _, name := range []string{"acl1", "fw3", "ipc2"} {
+		prof, err := classbench.ProfileByName(name)
+		if err != nil {
+			panic(err)
+		}
+		rs := classbench.Generate(prof, 16)
+		extra := classbench.Generate(prof, 28)
+		var b []byte
+		b = encodeRuleSet(b, rs, 32)
+		rng := newSeedRand(prof.Seed + 1)
+		for i := 16; i < 28; i++ {
+			switch i % 6 {
+			case 0: // high-priority insert
+				b = append(b, 0x10)
+				for _, f := range extra.Rules[i].Fields {
+					b = encodeField(b, f)
+				}
+			case 1: // low-priority insert
+				b = append(b, 1)
+				for _, f := range extra.Rules[i].Fields {
+					b = encodeField(b, f)
+				}
+			case 2: // delete
+				b = append(b, 2, byte(i))
+			case 3: // bounded lookup on a matching packet
+				b = append(b, 3)
+				b = encodePacket(b, classbench.MatchingPacket(rng, &rs.Rules[i%rs.Len()]))
+				b = append(b, byte(i)) // bound: a live rule's priority
+			case 4: // corner sweep, then live batch differential
+				b = append(b, 5, 6)
+			default: // freeze + frozen sweep
+				b = append(b, 7)
+			}
+		}
+		seeds = append(seeds, b)
+	}
+	// Degenerate: a single wildcard rule plus deletes that empty the set.
+	wild := rules.NewRuleSet(fuzzNumFields)
+	wild.AddAuto(rules.FullRange(), rules.FullRange(), rules.FullRange(), rules.FullRange(), rules.FullRange())
+	b := encodeRuleSet(nil, wild, 32)
+	b = append(b, 5, 7, 2, 0, 7)
+	seeds = append(seeds, b)
+	return seeds
+}
+
 // TestRegenFuzzCorpus writes the ClassBench-derived seeds into
 // testdata/fuzz in Go's corpus file format. It only runs when
 // REGEN_FUZZ_CORPUS=1; the checked-in files are asserted present (and
 // decodable) otherwise.
 func TestRegenFuzzCorpus(t *testing.T) {
 	targets := map[string][][]byte{
-		"FuzzLookupVsReference": lookupSeedCorpus(),
-		"FuzzUpdateChurn":       churnSeedCorpus(),
+		"FuzzLookupVsReference":     lookupSeedCorpus(),
+		"FuzzUpdateChurn":           churnSeedCorpus(),
+		"FuzzRemainderDifferential": remainderSeedCorpus(),
 	}
 	if os.Getenv("REGEN_FUZZ_CORPUS") == "1" {
 		for name, seeds := range targets {

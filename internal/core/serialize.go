@@ -8,9 +8,11 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
+	"nuevomatch/internal/classifiers/rvh"
 	"nuevomatch/internal/classifiers/tuplemerge"
 	"nuevomatch/internal/faultinject"
 	"nuevomatch/internal/rqrmi"
@@ -89,20 +91,55 @@ const (
 // --- remainder builder registry -------------------------------------------
 
 var (
-	remainderRegMu  sync.RWMutex
-	remainderByName = map[string]rules.Builder{}
+	remainderRegMu    sync.RWMutex
+	remainderByName   = map[string]rules.Builder{}
+	freezableRemNames = map[string]bool{}
 )
 
 // RegisterRemainder makes a remainder builder loadable by name: Engine.WriteTo
 // records the remainder classifier's Name(), and ReadEngine resolves it back
 // to a builder through this registry to reconstruct the classifier from the
-// serialized remainder rules. The core package registers "tuplemerge" (the
-// default remainder); the public nuevomatch package registers the other
-// bundled classifiers. Registering an existing name replaces it.
+// serialized remainder rules. The core package registers "tuplemerge" and
+// "rvh" (the production Freezable backends); the public nuevomatch package
+// registers the other bundled classifiers. Registering an existing name
+// replaces it.
 func RegisterRemainder(name string, b rules.Builder) {
 	remainderRegMu.Lock()
 	defer remainderRegMu.Unlock()
 	remainderByName[name] = b
+	delete(freezableRemNames, name)
+}
+
+// RegisterFreezableRemainder registers b like RegisterRemainder and
+// additionally marks it as a production Freezable backend: its classifiers
+// compile into lock-free frozen forms, so the name is a candidate for the
+// "auto" remainder selection and a subject of the backend-parameterized
+// proof suites. The builder's product must implement rules.Freezable.
+func RegisterFreezableRemainder(name string, b rules.Builder) {
+	remainderRegMu.Lock()
+	defer remainderRegMu.Unlock()
+	remainderByName[name] = b
+	freezableRemNames[name] = true
+}
+
+// FreezableRemainders returns the sorted names of the registered Freezable
+// backends — the auto-select candidate set.
+func FreezableRemainders() []string {
+	remainderRegMu.RLock()
+	defer remainderRegMu.RUnlock()
+	names := make([]string, 0, len(freezableRemNames))
+	for name := range freezableRemNames {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RemainderBuilderFor returns the registered builder for name. Load paths
+// use it to resolve an explicitly requested backend up front instead of
+// failing inside the engine build.
+func RemainderBuilderFor(name string) (rules.Builder, bool) {
+	return remainderBuilder(name)
 }
 
 func remainderBuilder(name string) (rules.Builder, bool) {
@@ -112,7 +149,10 @@ func remainderBuilder(name string) (rules.Builder, bool) {
 	return b, ok
 }
 
-func init() { RegisterRemainder("tuplemerge", tuplemerge.Build) }
+func init() {
+	RegisterFreezableRemainder("tuplemerge", tuplemerge.Build)
+	RegisterFreezableRemainder("rvh", rvh.Build)
+}
 
 // --- writing ---------------------------------------------------------------
 
@@ -623,6 +663,10 @@ func assembleEngine(opts Options, rs *rules.RuleSet, liveBitmap []byte, isets []
 		return nil, fmt.Errorf("core: rebuilding remainder: %w", err)
 	}
 	e.remainder = rem
+	// The artifact records which backend served (including an auto-select
+	// winner); the per-candidate scores are build diagnostics and are not
+	// serialized.
+	e.stats.RemainderBackend = rem.Name()
 	e.remIDs, e.remPrios = sortedRemainderTable(remainderRules)
 	e.refreezeRemainderLocked()
 	e.parPool = make(chan *parWorker, 2)

@@ -12,17 +12,27 @@ import (
 // design goal: after warm-up, neither the scalar nor the batched lookup
 // path allocates — the whole pipeline (iSet inference, validation, frozen
 // remainder, overlay scan) runs on snapshot-owned flat arrays and stack
-// scratch. The engine is churned first so the overlay path (additions,
-// deletion skip list, and a compaction) is exercised, not just the freshly
-// built state. CI runs this without -race as the benchmark smoke's alloc
-// guard.
+// scratch. The guard runs once per registered Freezable backend (each
+// serving as the engine's remainder), so every backend's frozen lookup
+// paths are held to the same zero-alloc contract as TupleMerge's. The
+// engine is churned first so the overlay path (additions, deletion skip
+// list, and a compaction) is exercised, not just the freshly built state.
+// CI runs this without -race as the benchmark smoke's alloc guard.
 func TestLookupPathsZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are only guaranteed without race instrumentation")
 	}
+	for _, backend := range FreezableRemainders() {
+		t.Run(backend, func(t *testing.T) { lookupPathsZeroAlloc(t, backend) })
+	}
+}
+
+func lookupPathsZeroAlloc(t *testing.T, backend string) {
 	rng := rand.New(rand.NewSource(91))
 	rs := structuredRuleSet(rng, 400)
-	e, err := Build(rs, fastOpts())
+	opts := fastOpts()
+	opts.RemainderName = backend
+	e, err := Build(rs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"nuevomatch/internal/classifiers/cutsplit"
 	"nuevomatch/internal/classifiers/linear"
 	"nuevomatch/internal/classifiers/neurocuts"
+	"nuevomatch/internal/classifiers/rvh"
 	"nuevomatch/internal/classifiers/tss"
 	"nuevomatch/internal/classifiers/tuplemerge"
 	"nuevomatch/internal/core"
@@ -49,8 +50,13 @@ type (
 	// New code passes functional options (WithMaxISets, WithRemainder, …)
 	// to Open and Load instead.
 	Options = core.Options
-	// BuildStats reports what Open (or Build) produced.
+	// BuildStats reports what Open (or Build) produced, including which
+	// remainder backend serves and — under WithRemainder(RemainderAuto) —
+	// the per-candidate selection scores.
 	BuildStats = core.BuildStats
+	// RemainderScore is one remainder auto-select candidate's measurements
+	// (BuildStats.RemainderScores).
+	RemainderScore = core.RemainderScore
 	// UpdateStats tracks drift since the last build (§3.9).
 	UpdateStats = core.UpdateStats
 	// RQRMIConfig tunes per-iSet model training (WithRQRMI).
@@ -137,6 +143,14 @@ const (
 // NoMatch is returned by Lookup when no rule matches.
 const NoMatch = rules.NoMatch
 
+// RemainderAuto is the WithRemainder argument that enables remainder
+// auto-selection: every registered Freezable backend is trained on the
+// actual remainder rule distribution and scored (build time, frozen-lookup
+// microbenchmark, memory footprint); the winner serves, and
+// Stats().RemainderBackend / RemainderScores report the decision. Retrain
+// re-runs the selection, so the backend tracks workload drift.
+const RemainderAuto = core.AutoRemainder
+
 // NewRuleSet returns an empty rule-set over the given number of fields.
 func NewRuleSet(numFields int) *RuleSet { return rules.NewRuleSet(numFields) }
 
@@ -199,11 +213,19 @@ func HasAsmKernel() bool { return rqrmi.HasAsmKernel() }
 func RegisterRemainder(name string, b Builder) { core.RegisterRemainder(name, b) }
 
 // Remainder classifier builders for WithRemainder, and standalone baselines
-// for comparison.
+// for comparison. TupleMerge and RVH are the production Freezable backends
+// (lock-free frozen serving, online updates, auto-select candidates); the
+// others are locked-fallback baselines — correct, update-capable where
+// documented, but served through their own locks rather than a compiled
+// frozen form.
 var (
 	// TupleMerge is the update-capable hash-based classifier (default
-	// remainder).
+	// remainder, Freezable).
 	TupleMerge Builder = tuplemerge.Build
+	// RVH is the range-vector-hash classifier (Freezable): interval-index
+	// hashing over boundary vectors derived from the rule distribution,
+	// built for range-heavy rule-sets that defeat prefix tuples.
+	RVH Builder = rvh.Build
 	// CutSplit is the decision-tree baseline with binth=8.
 	CutSplit Builder = cutsplit.Build
 	// NeuroCuts is the policy-search decision-tree baseline.
@@ -215,9 +237,9 @@ var (
 )
 
 func init() {
-	// "tuplemerge" is registered by the core package itself (it is the
-	// default remainder); the other bundled classifiers register here so
-	// tables saved with them load by name.
+	// "tuplemerge" and "rvh" are registered by the core package itself
+	// (they are the Freezable production backends); the other bundled
+	// classifiers register here so tables saved with them load by name.
 	RegisterRemainder("cutsplit", cutsplit.Build)
 	RegisterRemainder("neurocuts", neurocuts.Build)
 	RegisterRemainder("tss", tss.Build)

@@ -44,6 +44,7 @@ type tableConfig struct {
 	opts        core.Options
 	autopilot   *AutopilotPolicy
 	persistPath string
+	err         error
 }
 
 // WithMaxISets caps the number of RQ-RMI iSet models trained. The paper
@@ -72,12 +73,39 @@ func WithMinCoverage(f float64) Option {
 }
 
 // WithRemainder selects the external classifier indexing the rules the
-// iSets cannot cover (§3.7). The default is TupleMerge, the only bundled
-// remainder supporting online updates. On Load, the option overrides the
-// builder recorded in the artifact — required when the table was saved with
-// a remainder registered under a custom name.
-func WithRemainder(b Builder) Option {
-	return func(c *tableConfig) { c.opts.Remainder = b }
+// iSets cannot cover (§3.7). It accepts:
+//
+//   - a Builder value (TupleMerge, RVH, CutSplit, ...) or any function with
+//     the Builder signature;
+//   - a registered backend name string ("tuplemerge", "rvh", ...), resolved
+//     through the RegisterRemainder registry;
+//   - RemainderAuto ("auto"), which builds every registered Freezable
+//     backend over the actual remainder rule distribution, scores them
+//     (build time, frozen-lookup microbenchmark, memory), and keeps the
+//     winner — Stats().RemainderBackend and RemainderScores report the
+//     choice.
+//
+// The default is TupleMerge. On Load, a builder or non-auto name overrides
+// the builder recorded in the artifact — required when the table was saved
+// with a remainder registered under a custom name; RemainderAuto defers to
+// the recorded backend (selection is a build-time decision, re-run by
+// Retrain, never by Load). Any other argument type fails Open/Load with an
+// error.
+func WithRemainder(r any) Option {
+	return func(c *tableConfig) {
+		switch v := r.(type) {
+		case Builder:
+			c.opts.Remainder = v
+			c.opts.RemainderName = ""
+		case func(*RuleSet) (Classifier, error):
+			c.opts.Remainder = v
+			c.opts.RemainderName = ""
+		case string:
+			c.opts.RemainderName = v
+		default:
+			c.err = fmt.Errorf("nuevomatch: WithRemainder wants a Builder or a backend name string, got %T", r)
+		}
+	}
 }
 
 // WithRQRMI tunes per-iSet model training; zero fields take the paper's
@@ -115,10 +143,29 @@ func applyOptions(opts []Option) (tableConfig, error) {
 	for _, o := range opts {
 		o(&c)
 	}
+	if c.err != nil {
+		return c, c.err
+	}
 	if c.persistPath != "" && c.autopilot == nil {
 		return c, errors.New("nuevomatch: WithAutopilotPersist requires WithAutopilot")
 	}
 	return c, nil
+}
+
+// remainderOverride resolves the configured remainder into the builder
+// override a load path passes to core.ReadEngine: an explicit builder or a
+// registry-resolved name overrides the artifact's recorded backend, while
+// RemainderAuto (and no remainder option at all) returns nil so the
+// recorded backend is used.
+func (c *tableConfig) remainderOverride() (Builder, error) {
+	if name := c.opts.RemainderName; name != "" && name != core.AutoRemainder {
+		b, ok := core.RemainderBuilderFor(name)
+		if !ok {
+			return nil, fmt.Errorf("nuevomatch: unknown remainder classifier %q (register it with RegisterRemainder)", name)
+		}
+		return b, nil
+	}
+	return c.opts.Remainder, nil
 }
 
 // finish wraps a built or loaded engine into a Table and wires the
@@ -178,7 +225,11 @@ func Load(r io.Reader, opts ...Option) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.ReadEngine(r, c.opts.Remainder)
+	override, err := c.remainderOverride()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.ReadEngine(r, override)
 	if err != nil {
 		return nil, err
 	}

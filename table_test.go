@@ -470,3 +470,87 @@ func TestTableHealthPersistRetry(t *testing.T) {
 		t.Fatalf("closed table health = %v", h)
 	}
 }
+
+// TestTableRemainderByName exercises the string forms of WithRemainder
+// end to end through the public API: a named backend, the auto selector,
+// the unknown-name error, and the Load-time override semantics.
+func TestTableRemainderByName(t *testing.T) {
+	rs := testRuleSet(t, 250)
+
+	rvh, err := nuevomatch.Open(rs, nuevomatch.WithRemainder("rvh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rvh.Close()
+	if got := rvh.Stats().RemainderBackend; got != "rvh" {
+		t.Fatalf("Stats().RemainderBackend = %q, want rvh", got)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		p := probe(rng, rs)
+		if got, want := rvh.Lookup(p), rs.MatchID(p); got != want {
+			t.Fatalf("rvh table Lookup(%v) = %d, want %d", p, got, want)
+		}
+	}
+
+	auto, err := nuevomatch.Open(rs, nuevomatch.WithRemainder(nuevomatch.RemainderAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer auto.Close()
+	st := auto.Stats()
+	if !st.RemainderAutoSelected || st.RemainderBackend == "" || len(st.RemainderScores) < 2 {
+		t.Fatalf("auto-select not recorded: %+v", st)
+	}
+	for i := 0; i < 400; i++ {
+		p := probe(rng, rs)
+		if got, want := auto.Lookup(p), rs.MatchID(p); got != want {
+			t.Fatalf("auto table Lookup(%v) = %d, want %d", p, got, want)
+		}
+	}
+
+	// Save the rvh table; load it three ways: plain (recorded name), with
+	// an explicit name override, and with RemainderAuto (defers to the
+	// recorded backend — selection is a build-time decision).
+	var buf bytes.Buffer
+	if _, err := rvh.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		label string
+		opts  []nuevomatch.Option
+	}{
+		{"plain", nil},
+		{"name-override", []nuevomatch.Option{nuevomatch.WithRemainder("tuplemerge")}},
+		{"auto-defers", []nuevomatch.Option{nuevomatch.WithRemainder(nuevomatch.RemainderAuto)}},
+	} {
+		loaded, err := nuevomatch.Load(bytes.NewReader(buf.Bytes()), tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: Load: %v", tc.label, err)
+		}
+		want := "rvh"
+		if tc.label == "name-override" {
+			want = "tuplemerge"
+		}
+		if got := loaded.Stats().RemainderBackend; got != want {
+			t.Fatalf("%s: loaded backend %q, want %q", tc.label, got, want)
+		}
+		for i := 0; i < 200; i++ {
+			p := probe(rng, rs)
+			if got, w := loaded.Lookup(p), rs.MatchID(p); got != w {
+				t.Fatalf("%s: Lookup(%v) = %d, want %d", tc.label, p, got, w)
+			}
+		}
+		loaded.Close()
+	}
+
+	if _, err := nuevomatch.Open(rs, nuevomatch.WithRemainder("no-such-backend")); err == nil {
+		t.Fatal("Open with an unknown remainder name must error")
+	}
+	if _, err := nuevomatch.Open(rs, nuevomatch.WithRemainder(42)); err == nil {
+		t.Fatal("Open with a non-Builder, non-string remainder must error")
+	}
+	if _, err := nuevomatch.Load(bytes.NewReader(buf.Bytes()), nuevomatch.WithRemainder("no-such-backend")); err == nil {
+		t.Fatal("Load with an unknown remainder name must error")
+	}
+}
